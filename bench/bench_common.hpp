@@ -1,0 +1,27 @@
+// Shared scaffolding for the experiment drivers: a uniform header block and
+// a hard-failure helper (a violated invariant makes the binary exit
+// non-zero so CI catches regressions in the reproduced results).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace minmach::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_claim) {
+  std::cout << "================================================================\n"
+            << experiment << "\n"
+            << "paper claim: " << paper_claim << "\n"
+            << "================================================================\n";
+}
+
+inline void require(bool condition, const std::string& message) {
+  if (!condition) {
+    std::cerr << "EXPERIMENT INVARIANT VIOLATED: " << message << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace minmach::bench

@@ -1,0 +1,107 @@
+// Substrate micro-benchmarks (google-benchmark): exact arithmetic, the
+// max-flow feasibility oracle, the single-machine admission test, and the
+// end-to-end online simulator. These are the primitives every experiment
+// above is built on; tracking their throughput keeps the experiment
+// runtimes predictable.
+#include <benchmark/benchmark.h>
+
+#include "minmach/algos/nonmig.hpp"
+#include "minmach/algos/single_machine.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/sim/engine.hpp"
+#include "minmach/util/bigint.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace {
+
+using namespace minmach;
+
+void BM_BigIntMultiply(benchmark::State& state) {
+  Rng rng(1);
+  BigInt a(1);
+  BigInt b(1);
+  const auto limbs = static_cast<int>(state.range(0));
+  for (int i = 0; i < limbs; ++i) {
+    a = a * BigInt(0x100000000ll) + BigInt(rng.uniform_int(1, 0xffffffffll));
+    b = b * BigInt(0x100000000ll) + BigInt(rng.uniform_int(1, 0xffffffffll));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMultiply)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  Rng rng(2);
+  BigInt a(1);
+  BigInt b(1);
+  const auto limbs = static_cast<int>(state.range(0));
+  for (int i = 0; i < 2 * limbs; ++i)
+    a = a * BigInt(0x100000000ll) + BigInt(rng.uniform_int(1, 0xffffffffll));
+  for (int i = 0; i < limbs; ++i)
+    b = b * BigInt(0x100000000ll) + BigInt(rng.uniform_int(1, 0xffffffffll));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::div_mod(a, b));
+  }
+}
+BENCHMARK(BM_BigIntDivMod)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RatArithmetic(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Rat> values;
+  for (int i = 0; i < 64; ++i)
+    values.emplace_back(rng.uniform_int(-1000, 1000),
+                        rng.uniform_int(1, 997));
+  for (auto _ : state) {
+    Rat sum(0);
+    for (const auto& v : values) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_RatArithmetic);
+
+void BM_FlowOptimalMachines(benchmark::State& state) {
+  Rng rng(4);
+  GenConfig config;
+  config.n = static_cast<std::size_t>(state.range(0));
+  Instance in = gen_general(rng, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_migratory_machines(in));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlowOptimalMachines)->Arg(20)->Arg(40)->Arg(80)->Complexity();
+
+void BM_SingleMachineAdmission(benchmark::State& state) {
+  Rng rng(5);
+  GenConfig config;
+  config.n = static_cast<std::size_t>(state.range(0));
+  Instance in = gen_general(rng, config);
+  std::vector<MachineCommitment> commitments;
+  for (const Job& j : in.jobs())
+    commitments.push_back({j.release, j.deadline, j.processing});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        edf_feasible_single_machine(commitments, Rat(0)));
+  }
+}
+BENCHMARK(BM_SingleMachineAdmission)->Arg(16)->Arg(64);
+
+void BM_SimulatorFirstFit(benchmark::State& state) {
+  Rng rng(6);
+  GenConfig config;
+  config.n = static_cast<std::size_t>(state.range(0));
+  Instance in = gen_general(rng, config);
+  for (auto _ : state) {
+    FitPolicy policy(FitRule::kFirstFit);
+    SimRun run = simulate(policy, in);
+    benchmark::DoNotOptimize(run.machines_used);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SimulatorFirstFit)->Arg(25)->Arg(50)->Arg(100)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Scenario: batch queue with FIFO-ish SLAs.
+//
+// A data-center batch queue promises "roughly first-come, first-served"
+// service: a job submitted later never has an earlier SLA deadline. That
+// is an AGREEABLE instance (Section 6). The paper gives a simple
+// non-preemptive online algorithm on O(m) machines: EDF for jobs with
+// slack, MediumFit for urgent ones; this example runs it, sweeps the
+// loose/tight split parameter alpha, and reproduces the shape of the
+// 1/(1-a)^2 + 16/a trade-off whose optimum the paper reports at ~32.70m.
+//
+// Build & run:  ./build/examples/agreeable_batch
+#include <iostream>
+
+#include "minmach/algos/agreeable.hpp"
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/util/rng.hpp"
+#include "minmach/util/table.hpp"
+
+int main() {
+  using namespace minmach;
+
+  Rng rng(11);
+  GenConfig config;
+  config.n = 120;
+  config.horizon = 240;
+  Instance queue = gen_agreeable(rng, config);
+  if (!queue.is_agreeable()) {
+    std::cerr << "generator bug: instance is not agreeable\n";
+    return 1;
+  }
+
+  std::int64_t m = optimal_migratory_machines(queue);
+  std::cout << "batch queue: " << queue.size()
+            << " jobs, migratory OPT = " << m << " machines\n\n";
+
+  Table table({"alpha", "EDF pool", "MediumFit pool", "total", "total / m",
+               "paper bound 1/(1-a)^2 + 16/a"});
+  for (const Rat& alpha :
+       {Rat(3, 10), Rat(1, 2), Rat(63, 100), Rat(4, 5)}) {
+    AgreeableRun run = schedule_agreeable(queue, m, alpha);
+    ValidateOptions options;
+    options.require_non_migratory = true;
+    options.require_non_preemptive = true;
+    auto audit = validate(queue, run.schedule, options);
+    if (!audit.ok) {
+      std::cerr << "audit failed:\n" << audit.summary();
+      return 1;
+    }
+    double a = alpha.to_double();
+    double bound = 1.0 / ((1 - a) * (1 - a)) + 16.0 / a;
+    table.add_row({alpha.to_string(), std::to_string(run.machines_loose),
+                   std::to_string(run.machines_tight),
+                   std::to_string(run.machines_total),
+                   Table::fmt(static_cast<double>(run.machines_total) /
+                              static_cast<double>(m)),
+                   Table::fmt(bound, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe schedule is non-preemptive and non-migratory at every "
+               "alpha; the paper's\noptimized constant sits near alpha = "
+               "0.63 (32.70m worst case -- real traces sit far below).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Scenario: an admission controller for a real-time execution service.
+//
+// Requests arrive online, each with an SLA window [release, deadline) and a
+// CPU demand. The service runs NON-migratory workers (moving a request
+// between workers would thrash caches), wants to provision as few workers
+// as possible, and must never miss an SLA. This is exactly the paper's
+// online non-migratory machine-minimization problem.
+//
+// The example replays a bursty arrival trace against the fit-policy suite
+// and compares the workers provisioned with the migratory offline optimum
+// (what a clairvoyant, migration-tolerant scheduler would have needed) --
+// i.e. it measures the empirical "power of migration" on this trace.
+//
+// Build & run:  ./build/examples/realtime_admission
+#include <iostream>
+
+#include "minmach/algos/nonmig.hpp"
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/sim/engine.hpp"
+#include "minmach/util/rng.hpp"
+#include "minmach/util/table.hpp"
+
+int main() {
+  using namespace minmach;
+
+  // A bursty trace: three traffic phases with different tightness.
+  Rng rng(2024);
+  Instance trace;
+  auto burst = [&](std::int64_t start, std::size_t count, std::int64_t window,
+                   double tightness) {
+    for (std::size_t i = 0; i < count; ++i) {
+      Job j;
+      j.release = Rat(start + rng.uniform_int(0, 20));
+      Rat len(rng.uniform_int(window / 2, window));
+      j.deadline = j.release + len;
+      // demand = tightness fraction of the window, on a 1/4 grid
+      auto numerator = static_cast<std::int64_t>(
+          static_cast<double>((len * Rat(4)).floor().to_int64()) * tightness);
+      j.processing = Rat(std::max<std::int64_t>(1, numerator), 4);
+      trace.add_job(j);
+    }
+  };
+  burst(0, 40, 30, 0.3);    // steady background traffic
+  burst(60, 25, 10, 0.85);  // tight latency-critical burst
+  burst(90, 35, 40, 0.5);   // heavy batch phase
+  trace.sort_canonical();
+
+  std::int64_t opt = optimal_migratory_machines(trace);
+  std::cout << "trace: " << trace.size() << " requests, migratory OPT = "
+            << opt << " workers\n\n";
+
+  Table table({"admission policy", "workers", "workers / OPT", "SLA misses"});
+  for (FitRule rule : {FitRule::kFirstFit, FitRule::kBestFit,
+                       FitRule::kWorstFit, FitRule::kNextFit,
+                       FitRule::kRandomFit}) {
+    FitPolicy policy(rule, /*seed=*/7);
+    SimRun run = simulate(policy, trace, Rat(1), /*require_no_miss=*/false);
+    ValidateOptions options;
+    options.require_non_migratory = true;
+    options.allow_unfinished = run.missed;
+    auto audit = validate(trace, run.schedule, options);
+    if (!audit.ok) {
+      std::cerr << "schedule audit failed: " << audit.summary();
+      return 1;
+    }
+    table.add_row({policy.name(), std::to_string(run.machines_used),
+                   Table::fmt(static_cast<double>(run.machines_used) /
+                              static_cast<double>(opt)),
+                   run.missed ? "YES" : "0"});
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery policy admits exactly (per-worker EDF feasibility), "
+               "so no SLA is ever missed;\nthe price is extra workers over "
+               "the migratory clairvoyant bound.\n";
+  return 0;
+}

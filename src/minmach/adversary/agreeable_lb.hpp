@@ -1,0 +1,59 @@
+// The agreeable lower bound (Section 6.2, Lemma 9 / Theorem 15): no online
+// algorithm -- even migratory -- can schedule all agreeable instances with
+// identical processing times on fewer than (6 - 2*sqrt(6)) * m ~ 1.101 m
+// machines.
+//
+// Lemma 9's wave: when the algorithm is "behind by w" at time t, release m
+// type-1 jobs (p = 1, d = t + 1 + a) and a*m type-2 jobs (p = 1, d = t + 2).
+// The proof's key device is a THREAT: "(1-a)m jobs with p = 1 and d = t + 2
+// could be released at time t + 1 without violating feasibility". An online
+// algorithm cannot distinguish the two branches before t + 1, so either it
+// reserves (1-a)m machines' worth of capacity in [t+1, t+1+a] -- and then
+// its type-1/type-2 progress falls behind by a fixed delta > 0 per wave
+// whenever its budget is below (1 + beta) m with beta < 5 - 2*sqrt(6) --
+// or the adversary actually releases the zero-laxity threat wave and the
+// algorithm misses immediately.
+//
+// The driver realizes the branch adaptively: at each t + 1 it checks (by
+// exact max-flow over the opponent's remaining workload) whether the
+// opponent could still absorb the threat wave on its machine budget. If
+// not, the threat is released -- no algorithm on that budget can survive it
+// -- and the game is won. Otherwise the next wave starts at t' = t + 1 + a.
+// Backlog accumulation makes the test fail eventually for any budget below
+// the threshold; the experiment sweeps the budget across ~1.101 m.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/sim/engine.hpp"
+#include "minmach/util/rational.hpp"
+
+namespace minmach {
+
+struct AgreeableLbParams {
+  std::int64_t m = 20;      // the optimum the adversary maintains
+  Rat alpha = Rat(9, 40);   // ~ (sqrt(6)-2)/2 ~ 0.2247; alpha*m must be integer
+  int max_rounds = 50;
+  // Budget the kill test assumes the opponent has (the b in "could the
+  // opponent still absorb the threat on b machines"). Must match the
+  // policy's actual machine budget.
+  std::int64_t opponent_budget = 20;
+};
+
+struct AgreeableLbResult {
+  Instance instance;           // all waves (and possibly the threat) released
+  std::vector<Rat> backlog;    // unfinished work at the end of each round
+  bool missed = false;
+  bool threat_released = false;  // the t+1 zero-laxity branch was taken
+  int rounds_survived = 0;       // rounds completed without a miss
+  std::size_t jobs = 0;
+};
+
+// Plays waves against the policy. Stops at the first deadline miss (either
+// organic or forced by the threat branch) or after max_rounds.
+[[nodiscard]] AgreeableLbResult run_agreeable_lower_bound(
+    OnlinePolicy& policy, const AgreeableLbParams& params = {});
+
+}  // namespace minmach

@@ -1,0 +1,47 @@
+#include "minmach/adversary/edf_lb.hpp"
+
+#include <stdexcept>
+
+namespace minmach {
+
+Instance gen_dhall(std::int64_t delta, int repeats, const Rat& spacing) {
+  if (delta < 2)
+    throw std::invalid_argument("gen_dhall: delta must be >= 2");
+  if (repeats < 1)
+    throw std::invalid_argument("gen_dhall: repeats must be >= 1");
+
+  Instance out;
+  const Rat light_p(1, delta);
+  const Rat heavy_margin(1, 2 * delta);
+  for (int r = 0; r < repeats; ++r) {
+    Rat t = spacing * Rat(r);
+    Job heavy;
+    heavy.release = t;
+    heavy.processing = Rat(1);
+    heavy.deadline = t + Rat(1) + heavy_margin;
+    out.add_job(heavy);
+    for (std::int64_t i = 0; i < delta; ++i) {
+      Job light;
+      light.release = t;
+      light.processing = light_p;
+      light.deadline = t + Rat(1);
+      out.add_job(light);
+    }
+  }
+  return out;
+}
+
+std::optional<std::size_t> min_feasible_budget(const PolicyFactory& factory,
+                                               const Instance& instance,
+                                               std::size_t lo,
+                                               std::size_t hi) {
+  for (std::size_t budget = lo; budget <= hi; ++budget) {
+    auto policy = factory(budget);
+    SimRun run = simulate(*policy, instance, Rat(1),
+                          /*require_no_miss=*/false);
+    if (!run.missed) return budget;
+  }
+  return std::nullopt;
+}
+
+}  // namespace minmach

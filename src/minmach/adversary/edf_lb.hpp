@@ -1,0 +1,41 @@
+// Instances separating EDF from LLF (the Phillips et al. baselines quoted
+// in Section 1: LLF is O(log Delta)-competitive while EDF has an
+// Omega(Delta) lower bound, Delta = max/min processing-time ratio).
+//
+// The separator is the Dhall-effect gadget: Delta "light" jobs
+// (p = 1/Delta, d = 1) released together with one zero-ish-laxity "heavy"
+// job (p = 1, d = 1 + 1/(2 Delta)). EDF serves the lights first (earlier
+// deadline) on every machine it owns, so with any budget below ~Delta the
+// heavy job starts too late and misses; the optimum runs the heavy alone
+// and chains all lights on ONE other machine (their total work is 1), so
+// OPT = 2 independent of Delta. LLF runs the heavy immediately (its laxity
+// is the smallest) and is fine with O(1) machines. Experiment E12 measures
+// the minimal surviving budget of both policies as Delta grows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/sim/engine.hpp"
+
+namespace minmach {
+
+// One gadget per repeat, separated by `spacing` (>= 2 keeps gadgets
+// disjoint in time so OPT stays 2; spacing < 2 overlaps the heavy tails).
+[[nodiscard]] Instance gen_dhall(std::int64_t delta, int repeats = 1,
+                                 const Rat& spacing = Rat(2));
+
+// Smallest machine budget in [lo, hi] with which the policy finishes the
+// instance without a deadline miss, or nullopt if none works. Scans
+// linearly upward: EDF feasibility is NOT monotone in the budget in
+// general (scheduling anomalies), so binary search would be unsound.
+using PolicyFactory =
+    std::function<std::unique_ptr<OnlinePolicy>(std::size_t budget)>;
+[[nodiscard]] std::optional<std::size_t> min_feasible_budget(
+    const PolicyFactory& factory, const Instance& instance, std::size_t lo,
+    std::size_t hi);
+
+}  // namespace minmach

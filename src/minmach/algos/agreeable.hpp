@@ -1,0 +1,46 @@
+// The non-preemptive O(m) algorithm for agreeable instances (Section 6.1,
+// Theorem 12): split by looseness at alpha.
+//  - alpha-loose jobs: EDF on ceil(m/(1-alpha)^2) machines (Theorem 13). On
+//    agreeable instances EDF never preempts a started job -- later releases
+//    have later deadlines -- so the pool's schedule is non-preemptive
+//    (Corollary 1).
+//  - alpha-tight jobs: MediumFit (Lemma 8: at most 16m/alpha machines).
+// Total: m/(1-alpha)^2 + 16m/alpha machines, minimized at ~32.70*m around
+// alpha ~ 0.63 (experiment E8 reproduces the sweep).
+//
+// Per §2 the online algorithm may assume the optimal machine count m is
+// known (guessing costs O(1) more); the driver takes it as a parameter.
+#pragma once
+
+#include <cstdint>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+#include "minmach/util/rational.hpp"
+
+namespace minmach {
+
+struct AgreeableRun {
+  Schedule schedule;  // non-preemptive, non-migratory
+  std::size_t machines_loose = 0;
+  std::size_t machines_tight = 0;
+  std::size_t machines_total = 0;
+};
+
+// Requires an agreeable instance feasible on m migratory machines and
+// alpha in (0,1). Throws std::runtime_error if the EDF pool misses a
+// deadline (cannot happen when m is a true upper bound on the optimum, per
+// Theorem 13).
+[[nodiscard]] AgreeableRun schedule_agreeable(const Instance& instance,
+                                              std::int64_t m,
+                                              const Rat& alpha);
+
+// The paper's optimized constant: alpha ~ 0.63 -> ~32.70 m machines.
+[[nodiscard]] AgreeableRun schedule_agreeable(const Instance& instance,
+                                              std::int64_t m);
+
+// ceil(m / (1-alpha)^2): the EDF pool budget of Theorem 13.
+[[nodiscard]] std::int64_t edf_budget_for_loose(std::int64_t m,
+                                                const Rat& alpha);
+
+}  // namespace minmach

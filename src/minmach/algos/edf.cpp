@@ -1,0 +1,49 @@
+#include "minmach/algos/edf.hpp"
+
+#include <algorithm>
+
+namespace minmach {
+
+void EdfPolicy::on_release(Simulator&, JobId) {}
+
+void EdfPolicy::dispatch(Simulator& sim) {
+  std::vector<JobId> active = sim.active_jobs();
+  std::sort(active.begin(), active.end(), [&](JobId a, JobId b) {
+    const Job& ja = sim.job(a);
+    const Job& jb = sim.job(b);
+    if (ja.deadline != jb.deadline) return ja.deadline < jb.deadline;
+    return a < b;
+  });
+  if (active.size() > machine_budget_) active.resize(machine_budget_);
+
+  // Stable assignment: keep selected jobs on their current machine, place
+  // the rest on freed machines (EDF may migrate, but not gratuitously).
+  std::vector<bool> selected_running(active.size(), false);
+  std::vector<std::size_t> free_machines;
+  for (std::size_t m = 0; m < machine_budget_; ++m) {
+    JobId current = sim.running_on(m);
+    bool keep = false;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (active[i] == current) {
+        selected_running[i] = true;
+        keep = true;
+        break;
+      }
+    }
+    if (!keep) {
+      sim.set_running(m, kInvalidJob);
+      free_machines.push_back(m);
+    }
+  }
+  std::size_t next_free = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (selected_running[i]) continue;
+    sim.set_running(free_machines[next_free++], active[i]);
+  }
+}
+
+std::string EdfPolicy::name() const {
+  return "EDF(" + std::to_string(machine_budget_) + ")";
+}
+
+}  // namespace minmach

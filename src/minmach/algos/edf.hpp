@@ -1,0 +1,30 @@
+// Earliest Deadline First on a budget of m' machines (migratory).
+//
+// The classic baseline from Phillips et al.: at any time, run the m'
+// released unfinished jobs with the smallest deadlines. Theorem 13 (quoted
+// from [4]) shows EDF is feasible on m/(1-alpha)^2 machines when every job
+// is alpha-loose; experiment E11 reproduces that bound and E12 the Omega(Delta)
+// failure mode on tight instances.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "minmach/sim/engine.hpp"
+
+namespace minmach {
+
+class EdfPolicy : public OnlinePolicy {
+ public:
+  explicit EdfPolicy(std::size_t machine_budget)
+      : machine_budget_(machine_budget) {}
+
+  void on_release(Simulator& sim, JobId job) override;
+  void dispatch(Simulator& sim) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t machine_budget_;
+};
+
+}  // namespace minmach

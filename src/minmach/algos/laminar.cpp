@@ -1,0 +1,398 @@
+#include "minmach/algos/laminar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "minmach/algos/loose.hpp"
+#include "minmach/core/transforms.hpp"
+#include "minmach/sim/engine.hpp"
+
+namespace minmach {
+
+// ---------------------------------------------------------------- assigner
+
+LaminarAssigner::LaminarAssigner(std::size_t budget)
+    : budget_(budget), history_(budget) {
+  if (budget == 0)
+    throw std::invalid_argument("LaminarAssigner: budget must be positive");
+}
+
+bool LaminarAssigner::dominates(const Job& outer, JobId outer_id,
+                                const Job& inner, JobId inner_id) {
+  return outer_id < inner_id && outer.release <= inner.release &&
+         inner.deadline <= outer.deadline;
+}
+
+std::optional<std::size_t> LaminarAssigner::try_assign(const Simulator& sim,
+                                                       JobId job) {
+  const Job& j = sim.job(job);
+
+  // The currently responsible job on each machine: the innermost job of the
+  // assignment history whose window intersects I(j). By laminarity and the
+  // canonical release order, all intersecting earlier jobs dominate j and
+  // are chain-ordered, so "innermost" is well-defined.
+  struct Candidate {
+    JobId id;
+    std::size_t machine;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t m = 0; m < budget_; ++m) {
+    JobId responsible = kInvalidJob;
+    for (JobId other : history_[m]) {
+      const Job& o = sim.job(other);
+      if (intersect(o.window(), j.window()).empty()) continue;
+      if (responsible == kInvalidJob ||
+          dominates(sim.job(responsible), responsible, o, other))
+        responsible = other;
+    }
+    if (responsible == kInvalidJob) {
+      // A machine with no conflicting job: take it.
+      history_[m].push_back(job);
+      return m;
+    }
+    candidates.push_back({responsible, m});
+  }
+
+  // Chain order c_1 < c_2 < ... : innermost window first; equal windows are
+  // ordered with the dominated (larger-index) job first.
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const Candidate& a, const Candidate& b) {
+              const Job& ja = sim.job(a.id);
+              const Job& jb = sim.job(b.id);
+              if (ja.release != jb.release) return ja.release > jb.release;
+              if (ja.deadline != jb.deadline) return ja.deadline < jb.deadline;
+              return a.id > b.id;
+            });
+
+  const Rat price = j.window_length();  // the scheme charges |I(j)|, not p_j
+  const Rat budget_unit(static_cast<std::int64_t>(budget_));
+  std::vector<JobId> chain;
+  chain.reserve(candidates.size());
+  for (const Candidate& c : candidates) chain.push_back(c.id);
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const JobId c = candidates[i].id;
+    auto& charges = charged_[c];
+    if (charges.empty()) charges.assign(budget_, Rat(0));
+    const Rat sub_budget = sim.job(c).laxity() / budget_unit;
+    if (sub_budget - charges[i] >= price) {
+      charges[i] += price;
+      auto& user_lists = users_[c];
+      if (user_lists.empty()) user_lists.resize(budget_);
+      user_lists[i].push_back(job);
+      chain_of_[job] = std::move(chain);
+      history_[candidates[i].machine].push_back(job);
+      return candidates[i].machine;
+    }
+  }
+
+  // Theorem 9 failure: extract the §5.2 witness set.
+  build_witness(sim, job, chain);
+  return std::nullopt;
+}
+
+void LaminarAssigner::build_witness(const Simulator& sim, JobId failing,
+                                    const std::vector<JobId>& failing_chain) {
+  // The downward construction of §5.2: G starts as {j*}; level i takes the
+  // <-maximal i-th candidates of G's members (all of whom were rejected by
+  // an i-th budget) as F_i and folds those candidates' i-th users back into
+  // G. F_0 is the set of maximal members of the final G, and T the union of
+  // their windows (= union of all of G's windows).
+  auto chain_of = [&](JobId id) -> const std::vector<JobId>& {
+    if (id == failing) return failing_chain;
+    return chain_of_.at(id);
+  };
+  auto maximal = [&](std::vector<JobId> ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    std::vector<JobId> out;
+    for (JobId a : ids) {
+      bool is_dominated = false;
+      for (JobId b : ids) {
+        if (b != a && dominates(sim.job(b), b, sim.job(a), a)) {
+          is_dominated = true;
+          break;
+        }
+      }
+      if (!is_dominated) out.push_back(a);
+    }
+    return out;
+  };
+
+  std::vector<JobId> group{failing};
+  std::vector<std::vector<JobId>> level_ids(budget_ + 1);
+  std::vector<bool> in_group(sim.job_count(), false);
+  in_group[failing] = true;
+
+  for (std::size_t i = budget_; i-- > 0;) {
+    std::vector<JobId> level_candidates;
+    for (JobId id : group) {
+      const auto& chain = chain_of(id);
+      if (i < chain.size()) level_candidates.push_back(chain[i]);
+    }
+    level_ids[i + 1] = maximal(std::move(level_candidates));
+    for (JobId f : level_ids[i + 1]) {
+      auto it = users_.find(f);
+      if (it == users_.end() || i >= it->second.size()) continue;
+      for (JobId user : it->second[i]) {
+        if (!in_group[user]) {
+          in_group[user] = true;
+          group.push_back(user);
+        }
+      }
+    }
+  }
+  level_ids[0] = maximal(group);
+
+  // Lemma 6 (ii): levels are pairwise disjoint; enforce it defensively so
+  // the measured coverage counts distinct jobs.
+  std::vector<bool> seen(sim.job_count(), false);
+  WitnessSet witness;
+  witness.levels.resize(level_ids.size());
+  for (std::size_t level = level_ids.size(); level-- > 0;) {
+    for (JobId id : level_ids[level]) {
+      if (seen[id]) continue;
+      seen[id] = true;
+      witness.levels[level].push_back(sim.job(id));
+    }
+  }
+  for (JobId id : group) witness.T.add(sim.job(id).window());
+  witness_ = std::move(witness);
+}
+
+// ------------------------------------------------------ fixed-budget policy
+
+LaminarPolicy::LaminarPolicy(std::size_t machine_budget)
+    : machine_budget_(machine_budget), assigner_(machine_budget) {}
+
+std::size_t LaminarPolicy::choose_machine(Simulator& sim, JobId job) {
+  if (auto machine = assigner_.try_assign(sim, job)) return *machine;
+  // Theorem 9: unreachable once machine_budget_ = O(m log m). Keep the
+  // first witness and overflow so the run still completes.
+  if (!witness_) witness_ = assigner_.witness();
+  ++failures_;
+  return machine_budget_ + overflow_next_++;
+}
+
+std::string LaminarPolicy::name() const {
+  return "Laminar(" + std::to_string(machine_budget_) + ")";
+}
+
+// ---------------------------------------------------------- critical pairs
+
+CriticalPairStats evaluate_critical_pair(const WitnessSet& witness) {
+  CriticalPairStats stats;
+  std::vector<Job> all;
+  for (const auto& level : witness.levels)
+    all.insert(all.end(), level.begin(), level.end());
+  if (all.empty() || witness.T.empty()) return stats;
+
+  // Coverage: sweep the elementary segments of T cut at all window
+  // endpoints; a window covers a whole segment iff it contains it.
+  std::vector<Rat> points;
+  for (const auto& piece : witness.T.pieces()) {
+    points.push_back(piece.lo);
+    points.push_back(piece.hi);
+  }
+  for (const Job& j : all) {
+    points.push_back(j.release);
+    points.push_back(j.deadline);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  bool first_segment = true;
+  for (std::size_t k = 0; k + 1 < points.size(); ++k) {
+    Interval segment{points[k], points[k + 1]};
+    if (!witness.T.contains(segment.lo)) continue;  // segment outside T
+    std::size_t covering = 0;
+    for (const Job& j : all) {
+      if (j.release <= segment.lo && segment.hi <= j.deadline) ++covering;
+    }
+    if (first_segment || covering < stats.coverage) stats.coverage = covering;
+    first_segment = false;
+  }
+
+  // beta: min over witness jobs of |T cap I(j)| / laxity.
+  bool first_beta = true;
+  for (const Job& j : all) {
+    Rat laxity = j.laxity();
+    if (!laxity.is_positive()) continue;
+    Rat ratio = witness.T.intersect(j.window()).length() / laxity;
+    if (first_beta || ratio < stats.beta) stats.beta = ratio;
+    first_beta = false;
+  }
+  return stats;
+}
+
+// ------------------------------------------------------- adaptive doubling
+
+AdaptiveLaminarPolicy::AdaptiveLaminarPolicy(double budget_factor)
+    : budget_factor_(budget_factor) {
+  if (budget_factor <= 0)
+    throw std::invalid_argument(
+        "AdaptiveLaminarPolicy: factor must be positive");
+  open_block();
+}
+
+std::size_t AdaptiveLaminarPolicy::budget_for(std::int64_t guess) const {
+  double budget = budget_factor_ * static_cast<double>(guess) *
+                  std::log2(static_cast<double>(guess) + 2.0);
+  return static_cast<std::size_t>(budget) + 1;
+}
+
+void AdaptiveLaminarPolicy::open_block() {
+  std::size_t budget = budget_for(guess_);
+  blocks_.push_back({next_offset_, LaminarAssigner(budget)});
+  next_offset_ += budget;
+}
+
+std::size_t AdaptiveLaminarPolicy::choose_machine(Simulator& sim, JobId job) {
+  while (true) {
+    Block& block = blocks_.back();
+    if (auto machine = block.assigner.try_assign(sim, job))
+      return block.offset + *machine;
+    // Failure witnesses (Definition 1 / Theorem 10) that the optimum
+    // exceeds the guess: double and open a fresh block. Earlier jobs stay
+    // where they are; the new block starts with an empty history, so the
+    // retry can only fail if the new budget fails too (impossible after
+    // finitely many doublings, as the block is initially conflict-free).
+    guess_ *= 2;
+    open_block();
+  }
+}
+
+std::string AdaptiveLaminarPolicy::name() const {
+  return "AdaptiveLaminar(factor=" + std::to_string(budget_factor_) + ")";
+}
+
+// ----------------------------------------------------------- greedy ablation
+
+GreedyLaminarPolicy::GreedyLaminarPolicy(std::size_t machine_budget)
+    : machine_budget_(machine_budget), history_(machine_budget) {
+  if (machine_budget == 0)
+    throw std::invalid_argument("GreedyLaminarPolicy: budget must be positive");
+}
+
+std::size_t GreedyLaminarPolicy::choose_machine(Simulator& sim, JobId job) {
+  const Job& j = sim.job(job);
+  struct Candidate {
+    JobId id;
+    std::size_t machine;
+  };
+  auto dominates = [&](JobId outer, JobId inner) {
+    return outer < inner &&
+           sim.job(outer).release <= sim.job(inner).release &&
+           sim.job(inner).deadline <= sim.job(outer).deadline;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t m = 0; m < machine_budget_; ++m) {
+    JobId responsible = kInvalidJob;
+    for (JobId other : history_[m]) {
+      const Job& o = sim.job(other);
+      if (intersect(o.window(), j.window()).empty()) continue;
+      if (responsible == kInvalidJob || dominates(responsible, other))
+        responsible = other;
+    }
+    if (responsible == kInvalidJob) {
+      history_[m].push_back(job);
+      return m;
+    }
+    candidates.push_back({responsible, m});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const Candidate& a, const Candidate& b) {
+              const Job& ja = sim.job(a.id);
+              const Job& jb = sim.job(b.id);
+              if (ja.release != jb.release) return ja.release > jb.release;
+              if (ja.deadline != jb.deadline) return ja.deadline < jb.deadline;
+              return a.id > b.id;
+            });
+
+  // The "necessary criterion" only: the candidate's FULL laxity must cover
+  // every window already assigned to its machine inside I(c), plus |I(j)|.
+  for (const Candidate& candidate : candidates) {
+    const Job& c = sim.job(candidate.id);
+    Rat used(0);
+    for (JobId other : history_[candidate.machine]) {
+      const Job& o = sim.job(other);
+      if (c.release <= o.release && o.deadline <= c.deadline &&
+          other != candidate.id)
+        used += o.window_length();
+    }
+    if (c.laxity() - used >= j.window_length()) {
+      history_[candidate.machine].push_back(job);
+      return candidate.machine;
+    }
+  }
+  ++failures_;
+  return machine_budget_ + overflow_next_++;
+}
+
+std::string GreedyLaminarPolicy::name() const {
+  return "GreedyLaminar(" + std::to_string(machine_budget_) + ")";
+}
+
+// ------------------------------------------------------------ full driver
+
+LaminarRun schedule_laminar(const Instance& instance,
+                            std::size_t machine_budget, const Rat& alpha,
+                            const Rat& s) {
+  if (!instance.is_laminar())
+    throw std::invalid_argument("schedule_laminar: instance is not laminar");
+  if (!(alpha * s < Rat(1)))
+    throw std::invalid_argument("schedule_laminar: requires alpha*s < 1");
+
+  Split split = split_by_looseness(instance, alpha);
+
+  LaminarRun out;
+
+  // Tight pool.
+  Schedule merged;
+  if (!split.tight.empty()) {
+    // §5 assumes the canonical index order (release ascending, deadline
+    // descending on ties); sort while tracking the original ids.
+    Instance tight;
+    std::vector<JobId> tight_ids = split.tight_ids;
+    {
+      std::vector<std::size_t> order(split.tight.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         const Job& ja = split.tight.job(static_cast<JobId>(a));
+                         const Job& jb = split.tight.job(static_cast<JobId>(b));
+                         if (ja.release != jb.release)
+                           return ja.release < jb.release;
+                         return ja.deadline > jb.deadline;
+                       });
+      std::vector<JobId> ids;
+      for (std::size_t pos : order) {
+        tight.add_job(split.tight.job(static_cast<JobId>(pos)));
+        ids.push_back(split.tight_ids[pos]);
+      }
+      tight_ids = std::move(ids);
+    }
+    LaminarPolicy policy(machine_budget);
+    SimRun run = simulate(policy, tight, Rat(1), /*require_no_miss=*/true);
+    out.machines_tight = run.machines_used;
+    out.assignment_failures = policy.assignment_failures();
+    run.schedule.remap_jobs(tight_ids);
+    merged.append_machines(run.schedule);
+  }
+
+  // Loose pool.
+  if (!split.loose.empty()) {
+    LooseRun loose = schedule_loose_jobs(split.loose, alpha, s);
+    out.machines_loose = loose.machines_used;
+    loose.schedule.remap_jobs(split.loose_ids);
+    merged.append_machines(loose.schedule);
+  }
+
+  merged.canonicalize();
+  out.machines_total = merged.used_machine_count();
+  out.schedule = std::move(merged);
+  return out;
+}
+
+}  // namespace minmach

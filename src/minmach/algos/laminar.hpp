@@ -1,0 +1,192 @@
+// The O(m log m)-machine non-migratory algorithm for laminar instances
+// (Section 5 / Theorem 9).
+//
+// Tight jobs are assigned at release by the budget scheme of §5.1:
+//  - if some machine has no previously assigned job whose window intersects
+//    I(j), take any such machine;
+//  - otherwise, on each machine the intersecting assigned jobs all dominate
+//    j and are linearly ordered by domination; the innermost one is that
+//    machine's "currently responsible" job. The responsible jobs across
+//    machines form a chain c_1(j) < c_2(j) < ... (innermost first);
+//    c_i(j) is the i-th candidate.
+//  - each job's laxity is split into m' equal sub-budgets; assigning j to
+//    the machine of c_i(j) charges |I(j)| to the i-th sub-budget of c_i(j).
+//    Pick the smallest i whose budget can still pay (inequality (6)).
+//  - if no budget can pay, the assignment FAILS; Theorem 9 proves failure
+//    is impossible once m' = O(m log m). The implementation records the
+//    failure and opens an overflow machine so runs complete; experiments
+//    report the failure count (always 0 at the theorem's budget).
+//
+// Dispatch per machine is earliest-deadline (Lemma 5 shows deadlines of
+// unfinished jobs on one machine are distinct, so this is unambiguous).
+//
+// Loose jobs go to a separate pool via the Section 4 pipeline; the
+// convenience driver schedule_laminar() performs the split and merges the
+// two schedules.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minmach/algos/nonmig.hpp"
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+#include "minmach/util/interval_set.hpp"
+
+namespace minmach {
+
+// The witness set of §5.2: when the assignment of some job fails, the
+// analysis extracts levels F_1..F_{m'} (candidate jobs whose sub-budgets
+// were exhausted) plus F_0 (the innermost users), and T = union of F_0's
+// windows. Lemma 7: (F, T) is an (m', 1/m')-critical pair in the sense of
+// Definition 1, which by Theorem 10 lower-bounds the offline optimum --
+// i.e. a failure at budget m' certifies m = Omega(m'/log m').
+struct WitnessSet {
+  std::vector<std::vector<Job>> levels;  // levels[0] = F_0, ..., F_{m'}
+  IntervalSet T;
+};
+
+// Definition 1, measured exactly: `coverage` is the minimum over t in T of
+// the number of distinct witness jobs whose window covers t; `beta` is the
+// minimum over witness jobs of |T cap I(j)| / l_j.
+struct CriticalPairStats {
+  std::size_t coverage = 0;
+  Rat beta = Rat(0);
+};
+[[nodiscard]] CriticalPairStats evaluate_critical_pair(
+    const WitnessSet& witness);
+
+// The §5.1 assignment core, reusable across the fixed-budget policy and the
+// doubling wrapper: candidate chains, m'-way sub-budgets, |I(j)| charging,
+// witness extraction. Machine indices are local to the assigner (a block of
+// `budget` machines); callers add their own offset.
+class LaminarAssigner {
+ public:
+  explicit LaminarAssigner(std::size_t budget);
+
+  // Local machine index in [0, budget), or std::nullopt when every
+  // candidate's budget is exhausted (the Theorem 9 failure event).
+  [[nodiscard]] std::optional<std::size_t> try_assign(const Simulator& sim,
+                                                      JobId job);
+
+  [[nodiscard]] std::size_t budget() const { return budget_; }
+  // Witness for the most recent try_assign failure.
+  [[nodiscard]] const std::optional<WitnessSet>& witness() const {
+    return witness_;
+  }
+
+ private:
+  [[nodiscard]] static bool dominates(const Job& outer, JobId outer_id,
+                                      const Job& inner, JobId inner_id);
+  void build_witness(const Simulator& sim, JobId failing,
+                     const std::vector<JobId>& failing_chain);
+
+  std::size_t budget_;
+  std::vector<std::vector<JobId>> history_;
+  std::map<JobId, std::vector<Rat>> charged_;
+  std::map<JobId, std::vector<std::vector<JobId>>> users_;
+  std::map<JobId, std::vector<JobId>> chain_of_;
+  std::optional<WitnessSet> witness_;
+};
+
+class LaminarPolicy : public NonMigratoryPolicy {
+ public:
+  // machine_budget = m' (the theorem uses m' = O(m log m)).
+  explicit LaminarPolicy(std::size_t machine_budget);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t assignment_failures() const { return failures_; }
+
+  // Witness of the first assignment failure (std::nullopt while none
+  // occurred). See WitnessSet above.
+  [[nodiscard]] const std::optional<WitnessSet>& failure_witness() const {
+    return witness_;
+  }
+
+ protected:
+  std::size_t choose_machine(Simulator& sim, JobId job) override;
+
+ private:
+  std::size_t machine_budget_;
+  std::size_t failures_ = 0;
+  std::size_t overflow_next_ = 0;  // next overflow machine index offset
+  LaminarAssigner assigner_;
+  std::optional<WitnessSet> witness_;  // first failure only
+};
+
+// The §2 remark made concrete: "the optimum may be assumed known at the
+// loss of a constant factor" via guess-and-double. The adaptive policy
+// starts with guess m^ = 1 and budget c * m^ * log2(m^ + 2); whenever the
+// current block's assignment fails, the failure witness certifies (via
+// Definition 1 + Theorem 10) that the offline optimum exceeds the guess,
+// so the guess doubles and a FRESH block of machines is opened. Jobs
+// already committed stay on their old block (non-migratory), and the total
+// machine count telescopes to O(budget(final guess)).
+class AdaptiveLaminarPolicy : public NonMigratoryPolicy {
+ public:
+  // budget(m^) = ceil(budget_factor * m^ * log2(m^ + 2)).
+  explicit AdaptiveLaminarPolicy(double budget_factor = 8.0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::int64_t current_guess() const { return guess_; }
+  [[nodiscard]] std::size_t epochs() const { return blocks_.size(); }
+
+ protected:
+  std::size_t choose_machine(Simulator& sim, JobId job) override;
+
+ private:
+  [[nodiscard]] std::size_t budget_for(std::int64_t guess) const;
+  void open_block();
+
+  struct Block {
+    std::size_t offset;
+    LaminarAssigner assigner;
+  };
+  double budget_factor_;
+  std::int64_t guess_ = 1;
+  std::size_t next_offset_ = 0;
+  std::vector<Block> blocks_;
+};
+
+// The balancing ablation (§5.1 discusses why it is needed): assign each job
+// to the machine of its innermost candidate whose TOTAL remaining laxity
+// budget can still pay for every window assigned below it plus |I(j)| --
+// the "necessary criterion" without the m'-way sub-budget split. The paper
+// notes this greedy rule fails on hard laminar instances [10, Thm 2.13];
+// the ablation bench compares its failure onset with the balanced scheme's.
+class GreedyLaminarPolicy : public NonMigratoryPolicy {
+ public:
+  explicit GreedyLaminarPolicy(std::size_t machine_budget);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t assignment_failures() const { return failures_; }
+
+ protected:
+  std::size_t choose_machine(Simulator& sim, JobId job) override;
+
+ private:
+  std::size_t machine_budget_;
+  std::size_t failures_ = 0;
+  std::size_t overflow_next_ = 0;
+  std::vector<std::vector<JobId>> history_;
+};
+
+struct LaminarRun {
+  Schedule schedule;           // merged (tight pool first, loose pool after)
+  std::size_t machines_tight = 0;
+  std::size_t machines_loose = 0;
+  std::size_t machines_total = 0;
+  std::size_t assignment_failures = 0;
+};
+
+// Complete Section 5 algorithm: alpha-tight jobs through LaminarPolicy with
+// budget m', alpha-loose jobs through the Section 4 pipeline with speed s
+// (requires alpha * s < 1). The instance must be laminar.
+[[nodiscard]] LaminarRun schedule_laminar(const Instance& instance,
+                                          std::size_t machine_budget,
+                                          const Rat& alpha, const Rat& s);
+
+}  // namespace minmach

@@ -1,0 +1,42 @@
+#include "minmach/algos/loose.hpp"
+
+#include <stdexcept>
+
+#include "minmach/algos/nonmig.hpp"
+#include "minmach/core/transforms.hpp"
+#include "minmach/sim/engine.hpp"
+
+namespace minmach {
+
+LooseRun schedule_loose_jobs(const Instance& instance, const Rat& alpha,
+                             const Rat& s) {
+  if (!(alpha * s < Rat(1)))
+    throw std::invalid_argument("schedule_loose_jobs: requires alpha*s < 1");
+  if (!instance.all_loose(alpha))
+    throw std::invalid_argument(
+        "schedule_loose_jobs: instance contains a job that is not "
+        "alpha-loose");
+
+  // J -> J^s; windows unchanged, so release order and online information
+  // are identical.
+  Instance inflated = inflate(instance, s);
+
+  // Speed-s black box (substitute for Chan--Lam--To, cf. header comment).
+  FitPolicy black_box(FitRule::kFirstFit);
+  SimRun run = simulate(black_box, inflated, /*speed=*/s,
+                        /*require_no_miss=*/true);
+
+  // Replaying at unit speed: slot [t, t') that processed j^s at speed s
+  // processes j for the same wall time; total wall time equals
+  // (s p_j) / s = p_j, and all slots already lie inside I(j).
+  LooseRun out;
+  out.schedule = std::move(run.schedule);
+  out.machines_used = run.machines_used;
+  return out;
+}
+
+LooseRun schedule_loose_jobs(const Instance& instance, const Rat& alpha) {
+  return schedule_loose_jobs(instance, alpha, Rat(2));
+}
+
+}  // namespace minmach

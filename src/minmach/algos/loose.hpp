@@ -1,0 +1,44 @@
+// Theorem 6's reduction: scheduling alpha-loose jobs WITHOUT speed
+// augmentation by simulating a speed-s non-migratory black box on the
+// inflated instance J^s (every processing time multiplied by s) and
+// replaying the resulting slots at unit speed.
+//
+// A job j^s with processing s*p_j occupies exactly p_j wall time on a
+// speed-s machine, so the produced slot structure is, verbatim, a feasible
+// unit-speed non-migratory schedule of the original instance. Lemma 4
+// guarantees m(J^s) = O(m(J)) when alpha < 1/s, so a black box using
+// f(m(J^s)) machines yields f(O(m(J))) machines overall -- Theorem 5's O(1)
+// competitiveness (experiment E4).
+//
+// As the black box the paper plugs in Chan--Lam--To's algorithm (Theorem 7)
+// purely as an existence result; this library substitutes non-migratory
+// EDF-FirstFit with the exact per-machine admission test run at speed s
+// (DESIGN.md section 5, substitution 1).
+#pragma once
+
+#include <cstddef>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+#include "minmach/util/rational.hpp"
+
+namespace minmach {
+
+struct LooseRun {
+  Schedule schedule;             // feasible, non-migratory, unit speed
+  std::size_t machines_used = 0; // machines of the final schedule
+};
+
+// Requires: every job alpha-loose and alpha * s < 1 (throws otherwise).
+// The online nature is preserved: the black box sees jobs at their release
+// dates; the inflation only rewrites each job at its own release.
+[[nodiscard]] LooseRun schedule_loose_jobs(const Instance& instance,
+                                           const Rat& alpha, const Rat& s);
+
+// The paper's concrete instantiation: given the speed guarantee of the
+// Chan--Lam--To theorem, for a target epsilon pick s = (1+epsilon)^2.
+// Convenience overload using s = 2 (i.e. valid for all alpha < 1/2).
+[[nodiscard]] LooseRun schedule_loose_jobs(const Instance& instance,
+                                           const Rat& alpha);
+
+}  // namespace minmach

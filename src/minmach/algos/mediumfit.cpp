@@ -1,0 +1,37 @@
+#include "minmach/algos/mediumfit.hpp"
+
+namespace minmach {
+
+MediumFitPolicy::Placement MediumFitPolicy::place(Simulator& sim, JobId job) {
+  const Job& j = sim.job(job);
+  const Rat laxity = j.laxity();
+  Rat start;
+  switch (anchor_) {
+    case MediumFitAnchor::kCenter:
+      start = j.release + laxity / Rat(2);
+      break;
+    case MediumFitAnchor::kLatest:
+      start = j.release + laxity;
+      break;
+    case MediumFitAnchor::kEarliest:
+      start = j.release;
+      break;
+  }
+  // The interval is fixed; only the machine is chosen (first fit).
+  Rat wall = j.processing / sim.speed();
+  return {first_free_machine(start, wall), start};
+}
+
+std::string MediumFitPolicy::name() const {
+  switch (anchor_) {
+    case MediumFitAnchor::kCenter:
+      return "MediumFit";
+    case MediumFitAnchor::kLatest:
+      return "LatestFit";
+    case MediumFitAnchor::kEarliest:
+      return "EarliestFit";
+  }
+  return "MediumFit?";
+}
+
+}  // namespace minmach

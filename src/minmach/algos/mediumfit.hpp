@@ -1,0 +1,36 @@
+// MediumFit (Section 6.1): every job j runs exactly in
+//   [r_j + l_j/2, d_j - l_j/2),
+// independently of all other jobs; machines are interval-colored first-fit.
+// Lemma 8: on agreeable instances of alpha-tight jobs this opens at most
+// 16 m / alpha machines. The paper notes the two obvious alternatives
+// (running in [r_j + l_j, d_j) or [r_j, d_j - l_j)) do NOT give O(m);
+// experiment E9 demonstrates that too, via the `anchor` knob.
+#pragma once
+
+#include <string>
+
+#include "minmach/algos/reservation.hpp"
+
+namespace minmach {
+
+enum class MediumFitAnchor {
+  kCenter,  // the paper's rule: [r + l/2, d - l/2)
+  kLatest,  // counterexample rule: [r + l, d)
+  kEarliest // counterexample rule: [r, d - l)
+};
+
+class MediumFitPolicy : public ReservationPolicy {
+ public:
+  explicit MediumFitPolicy(MediumFitAnchor anchor = MediumFitAnchor::kCenter)
+      : anchor_(anchor) {}
+
+  [[nodiscard]] std::string name() const override;
+
+ protected:
+  Placement place(Simulator& sim, JobId job) override;
+
+ private:
+  MediumFitAnchor anchor_;
+};
+
+}  // namespace minmach

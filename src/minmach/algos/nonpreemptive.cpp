@@ -1,0 +1,25 @@
+#include "minmach/algos/nonpreemptive.hpp"
+
+namespace minmach {
+
+NonPreemptiveGreedyPolicy::Placement NonPreemptiveGreedyPolicy::place(
+    Simulator& sim, JobId job) {
+  const Job& j = sim.job(job);
+  const Rat wall = j.processing / sim.speed();
+  const Rat latest_start = j.deadline - wall;
+
+  std::size_t best_machine = open_machines();  // fallback: open a machine
+  Rat best_start = j.release;
+  bool found = false;
+  for (std::size_t m = 0; m < open_machines(); ++m) {
+    Rat start = earliest_fit(m, j.release, wall);
+    if (start <= latest_start && (!found || start < best_start)) {
+      best_machine = m;
+      best_start = start;
+      found = true;
+    }
+  }
+  return {best_machine, best_start};
+}
+
+}  // namespace minmach

@@ -1,0 +1,23 @@
+// Greedy non-preemptive first fit: at release, place the job at the
+// earliest start on the lowest-indexed machine that lets it finish by its
+// deadline, opening a machine when none fits. This is the natural member of
+// the algorithm family Saha [11] analyzes for the non-preemptive problem
+// (O(log Delta)-competitive there); here it serves as the non-preemptive
+// baseline in the examples and the EDF-vs-LLF experiment.
+#pragma once
+
+#include <string>
+
+#include "minmach/algos/reservation.hpp"
+
+namespace minmach {
+
+class NonPreemptiveGreedyPolicy : public ReservationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "NonPreemptiveFF"; }
+
+ protected:
+  Placement place(Simulator& sim, JobId job) override;
+};
+
+}  // namespace minmach

@@ -1,0 +1,123 @@
+#include "minmach/algos/reservation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace minmach {
+
+void ReservationPolicy::on_release(Simulator& sim, JobId job) {
+  Placement placement = place(sim, job);
+  const Job& j = sim.job(job);
+  Rat length = j.processing / sim.speed();
+  Rat end = placement.start + length;
+  if (placement.start < j.release || end > j.deadline)
+    throw std::logic_error("ReservationPolicy: placement outside window");
+  if (placement.machine >= books_.size())
+    books_.resize(placement.machine + 1);
+
+  auto& book = books_[placement.machine];
+  Reservation res{placement.start, end, job};
+  auto pos = std::lower_bound(
+      book.begin(), book.end(), res,
+      [](const Reservation& a, const Reservation& b) { return a.start < b.start; });
+  if (pos != book.end() && pos->start < res.end)
+    throw std::logic_error("ReservationPolicy: overlapping reservation");
+  if (pos != book.begin() && std::prev(pos)->end > res.start)
+    throw std::logic_error("ReservationPolicy: overlapping reservation");
+  book.insert(pos, res);
+
+  if (job >= machine_by_job_.size()) machine_by_job_.resize(job + 1);
+  machine_by_job_[job] = placement.machine;
+}
+
+void ReservationPolicy::dispatch(Simulator& sim) {
+  for (std::size_t m = 0; m < books_.size(); ++m) {
+    JobId run = kInvalidJob;
+    for (const auto& res : books_[m]) {
+      if (res.start <= sim.now() && sim.now() < res.end &&
+          !sim.finished(res.job) && !sim.missed(res.job)) {
+        run = res.job;
+        break;
+      }
+      if (res.start > sim.now()) break;
+    }
+    sim.set_running(m, run);
+  }
+}
+
+std::optional<Rat> ReservationPolicy::next_wakeup(const Simulator& sim) {
+  std::optional<Rat> wakeup;
+  for (const auto& book : books_) {
+    // First reservation starting strictly after now.
+    auto pos = std::upper_bound(
+        book.begin(), book.end(), sim.now(),
+        [](const Rat& t, const Reservation& r) { return t < r.start; });
+    if (pos != book.end() && (!wakeup || pos->start < *wakeup))
+      wakeup = pos->start;
+  }
+  return wakeup;
+}
+
+std::optional<std::size_t> ReservationPolicy::machine_of(JobId job) const {
+  if (job >= machine_by_job_.size()) return std::nullopt;
+  return machine_by_job_[job];
+}
+
+std::size_t ReservationPolicy::peak_overlap() const {
+  // Sweep over all reservation endpoints.
+  std::vector<std::pair<Rat, int>> events;
+  for (const auto& book : books_) {
+    for (const auto& res : book) {
+      events.emplace_back(res.start, +1);
+      events.emplace_back(res.end, -1);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;  // ends before starts at a tie
+            });
+  std::size_t current = 0;
+  std::size_t peak = 0;
+  for (const auto& [time, delta] : events) {
+    if (delta > 0) {
+      ++current;
+      peak = std::max(peak, current);
+    } else {
+      --current;
+    }
+  }
+  return peak;
+}
+
+std::size_t ReservationPolicy::first_free_machine(const Rat& start,
+                                                  const Rat& length) const {
+  const Rat end = start + length;
+  for (std::size_t m = 0; m < books_.size(); ++m) {
+    bool clash = false;
+    for (const auto& res : books_[m]) {
+      if (res.start < end && start < res.end) {
+        clash = true;
+        break;
+      }
+      if (res.start >= end) break;
+    }
+    if (!clash) return m;
+  }
+  return books_.size();
+}
+
+Rat ReservationPolicy::earliest_fit(std::size_t machine,
+                                    const Rat& lower_bound,
+                                    const Rat& length) const {
+  Rat start = lower_bound;
+  if (machine >= books_.size()) return start;
+  for (const auto& res : books_[machine]) {
+    if (res.end <= start) continue;
+    if (start + length <= res.start) break;  // fits in the gap before res
+    start = res.end;
+  }
+  return start;
+}
+
+}  // namespace minmach

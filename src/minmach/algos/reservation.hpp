@@ -1,0 +1,64 @@
+// Base for policies that commit every job, at its release, to one fixed
+// execution interval on one machine (non-preemptive, non-migratory by
+// construction): MediumFit (Section 6.1) and the greedy non-preemptive
+// baseline. The base keeps the per-machine reservation books, dispatches
+// whichever reservation covers the current time, and wakes the simulator at
+// upcoming reservation starts.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "minmach/sim/engine.hpp"
+
+namespace minmach {
+
+class ReservationPolicy : public OnlinePolicy {
+ public:
+  void on_release(Simulator& sim, JobId job) final;
+  void dispatch(Simulator& sim) override;
+  std::optional<Rat> next_wakeup(const Simulator& sim) override;
+
+  [[nodiscard]] std::size_t open_machines() const { return books_.size(); }
+  [[nodiscard]] std::optional<std::size_t> machine_of(JobId job) const;
+
+  // Maximum number of reservations overlapping any single time point (the
+  // quantity Lemma 8 bounds by 16m/alpha for MediumFit).
+  [[nodiscard]] std::size_t peak_overlap() const;
+
+ protected:
+  struct Reservation {
+    Rat start;
+    Rat end;
+    JobId job;
+  };
+
+  // Decide the machine and execution interval for the newly released job.
+  // The returned interval must lie inside the job's window and have length
+  // p_j / speed. Returning a machine index >= open_machines() opens one.
+  struct Placement {
+    std::size_t machine;
+    Rat start;
+  };
+  virtual Placement place(Simulator& sim, JobId job) = 0;
+
+  // First machine index whose book has no reservation overlapping
+  // [start, start + length), or open_machines() if none.
+  [[nodiscard]] std::size_t first_free_machine(const Rat& start,
+                                               const Rat& length) const;
+  // Earliest start >= lower_bound at which the given machine can host an
+  // uninterrupted interval of the given length.
+  [[nodiscard]] Rat earliest_fit(std::size_t machine, const Rat& lower_bound,
+                                 const Rat& length) const;
+
+  [[nodiscard]] const std::vector<std::vector<Reservation>>& books() const {
+    return books_;
+  }
+
+ private:
+  std::vector<std::vector<Reservation>> books_;  // kept sorted by start
+  std::vector<std::optional<std::size_t>> machine_by_job_;
+};
+
+}  // namespace minmach

@@ -1,0 +1,47 @@
+#include "minmach/algos/scale_class.hpp"
+
+namespace minmach {
+
+int ScaleClassPolicy::scale_class(const Rat& processing) {
+  // floor(log2 p) via exact doubling/halving -- p is an arbitrary positive
+  // rational, so neither to_double() nor bit tricks are reliable.
+  int k = 0;
+  Rat value = processing;
+  while (value >= Rat(2)) {
+    value /= Rat(2);
+    ++k;
+  }
+  while (value < Rat(1)) {
+    value *= Rat(2);
+    --k;
+  }
+  return k;
+}
+
+ScaleClassPolicy::Placement ScaleClassPolicy::place(Simulator& sim,
+                                                    JobId job) {
+  const Job& j = sim.job(job);
+  const Rat wall = j.processing / sim.speed();
+  const Rat latest_start = j.deadline - wall;
+
+  auto& pool = pools_[scale_class(j.processing)];
+  std::size_t best_machine = 0;
+  Rat best_start = j.release;
+  bool found = false;
+  for (std::size_t machine : pool) {
+    Rat start = earliest_fit(machine, j.release, wall);
+    if (start <= latest_start && (!found || start < best_start)) {
+      best_machine = machine;
+      best_start = start;
+      found = true;
+    }
+  }
+  if (found) return {best_machine, best_start};
+
+  // Open a fresh machine for this class.
+  std::size_t machine = next_machine_++;
+  pool.push_back(machine);
+  return {machine, j.release};
+}
+
+}  // namespace minmach

@@ -1,0 +1,38 @@
+// Scale-class non-preemptive online scheduling in the spirit of Saha [11]
+// (the O(log Delta)-competitive algorithm for the non-preemptive problem
+// quoted in Section 1): jobs are bucketed by processing time into geometric
+// classes [2^k, 2^{k+1}); each class owns a private machine pool packed by
+// earliest-fit. With log Delta classes and each class O(m)-packable, the
+// total is O(m log Delta) machines -- the non-preemptive yardstick that the
+// paper's preemptive lower bound (E1) is contrasted against.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "minmach/algos/reservation.hpp"
+
+namespace minmach {
+
+class ScaleClassPolicy : public ReservationPolicy {
+ public:
+  ScaleClassPolicy() = default;
+
+  [[nodiscard]] std::string name() const override { return "ScaleClassNP"; }
+  [[nodiscard]] std::size_t class_count() const { return pools_.size(); }
+
+ protected:
+  Placement place(Simulator& sim, JobId job) override;
+
+ private:
+  // Geometric class index of a processing time (floor(log2 p), offset so
+  // sub-unit processing times get negative keys).
+  [[nodiscard]] static int scale_class(const Rat& processing);
+
+  std::map<int, std::vector<std::size_t>> pools_;  // class -> machine ids
+  std::size_t next_machine_ = 0;
+};
+
+}  // namespace minmach

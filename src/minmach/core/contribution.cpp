@@ -1,0 +1,71 @@
+#include "minmach/core/contribution.hpp"
+
+#include <stdexcept>
+
+namespace minmach {
+
+Rat contribution(const Job& job, const IntervalSet& where) {
+  Rat overlap = where.intersect(job.window()).length();
+  Rat value = overlap - job.laxity();
+  return value.is_positive() ? value : Rat(0);
+}
+
+Rat contribution(const Instance& instance, const IntervalSet& where) {
+  Rat total(0);
+  for (const auto& job : instance.jobs()) total += contribution(job, where);
+  return total;
+}
+
+namespace {
+
+// ceil(C(S,I)/|I|) for a non-empty I.
+std::int64_t load_of(const Instance& instance, const IntervalSet& where) {
+  Rat c = contribution(instance, where);
+  Rat len = where.length();
+  return (c / len).ceil().to_int64();
+}
+
+}  // namespace
+
+LoadBound load_bound_single_interval(const Instance& instance) {
+  LoadBound best;
+  const std::vector<Rat> points = instance.event_points();
+  for (std::size_t a = 0; a < points.size(); ++a) {
+    for (std::size_t b = a + 1; b < points.size(); ++b) {
+      IntervalSet candidate{Interval{points[a], points[b]}};
+      std::int64_t load = load_of(instance, candidate);
+      if (load > best.machines) {
+        best.machines = load;
+        best.witness = candidate;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<LoadBound> load_bound_exhaustive(const Instance& instance,
+                                               std::size_t max_segments) {
+  const std::vector<Rat> points = instance.event_points();
+  if (points.size() < 2) return LoadBound{};
+  const std::size_t segments = points.size() - 1;
+  if (segments > max_segments) return std::nullopt;
+  if (segments >= 63)
+    throw std::invalid_argument("load_bound_exhaustive: too many segments");
+
+  LoadBound best;
+  for (std::uint64_t mask = 1; mask < (1ull << segments); ++mask) {
+    IntervalSet candidate;
+    for (std::size_t s = 0; s < segments; ++s) {
+      if (mask & (1ull << s))
+        candidate.add(Interval{points[s], points[s + 1]});
+    }
+    std::int64_t load = load_of(instance, candidate);
+    if (load > best.machines) {
+      best.machines = load;
+      best.witness = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace minmach

@@ -1,0 +1,43 @@
+// The job model of the paper (§2): release date r_j, deadline d_j,
+// processing time p_j, all exact rationals. Derived quantities follow the
+// paper's notation: laxity l_j = d_j - r_j - p_j, latest start a_j = r_j +
+// l_j, earliest finish f_j = d_j - l_j, window I(j) = [r_j, d_j).
+#pragma once
+
+#include <cstdint>
+
+#include "minmach/util/interval_set.hpp"
+#include "minmach/util/rational.hpp"
+
+namespace minmach {
+
+using JobId = std::uint32_t;
+inline constexpr JobId kInvalidJob = static_cast<JobId>(-1);
+
+struct Job {
+  Rat release;
+  Rat deadline;
+  Rat processing;
+
+  [[nodiscard]] Interval window() const { return {release, deadline}; }
+  [[nodiscard]] Rat window_length() const { return deadline - release; }
+  [[nodiscard]] Rat laxity() const { return deadline - release - processing; }
+  // Latest time the job must have started to still meet its deadline.
+  [[nodiscard]] Rat latest_start() const { return release + laxity(); }
+  // Earliest time the job can possibly be finished.
+  [[nodiscard]] Rat earliest_finish() const { return deadline - laxity(); }
+
+  // p_j <= alpha * (d_j - r_j)? (paper: alpha-loose; else alpha-tight)
+  [[nodiscard]] bool is_loose(const Rat& alpha) const {
+    return processing <= alpha * window_length();
+  }
+
+  // Well-formed: 0 < p_j <= d_j - r_j.
+  [[nodiscard]] bool well_formed() const {
+    return processing.is_positive() && processing <= window_length();
+  }
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+}  // namespace minmach

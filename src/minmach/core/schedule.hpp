@@ -1,0 +1,76 @@
+// A concrete (possibly migratory) schedule: per machine, a list of slots
+// [start, end) x job. Produced by the simulator, the offline flow scheduler,
+// and the transforms; consumed by the validator and the experiment drivers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "minmach/core/job.hpp"
+#include "minmach/util/rational.hpp"
+
+namespace minmach {
+
+struct Slot {
+  Rat start;
+  Rat end;
+  JobId job = kInvalidJob;
+
+  [[nodiscard]] Rat length() const { return end - start; }
+  friend bool operator==(const Slot&, const Slot&) = default;
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::size_t machines) : machines_(machines) {}
+
+  [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
+  // Machines that actually process at least one slot. This is the number an
+  // online algorithm is charged for.
+  [[nodiscard]] std::size_t used_machine_count() const;
+
+  // Appends a slot; grows the machine list as needed. Call canonicalize()
+  // before querying once all slots are in.
+  void add_slot(std::size_t machine, Rat start, Rat end, JobId job);
+
+  [[nodiscard]] const std::vector<Slot>& slots(std::size_t machine) const {
+    return machines_[machine];
+  }
+
+  // Sorts every machine's slots by start time and merges back-to-back slots
+  // of the same job. Throws std::logic_error if two slots on one machine
+  // overlap (that is a bug in the producer, not a validation question).
+  void canonicalize();
+
+  // Total time the job is processed (wall time across all machines).
+  [[nodiscard]] Rat work_of(JobId job) const;
+  // Wall time processed strictly before time t.
+  [[nodiscard]] Rat work_of_before(JobId job, const Rat& t) const;
+
+  // Machines that process the job at least once, ascending.
+  [[nodiscard]] std::vector<std::size_t> machines_of(JobId job) const;
+
+  // Sum over jobs of (number of machines touched - 1); zero iff the
+  // schedule is non-migratory.
+  [[nodiscard]] std::size_t migration_count() const;
+  // Sum over jobs of (number of maximal contiguous processing intervals -
+  // 1), where contiguity is in time regardless of machine.
+  [[nodiscard]] std::size_t preemption_count() const;
+
+  [[nodiscard]] std::size_t total_slots() const;
+
+  // Rewrites every slot's job id through the map (used when a schedule of a
+  // sub-instance is lifted back to the full instance's ids).
+  void remap_jobs(const std::vector<JobId>& new_id_of);
+  // Appends another schedule's machines after this one's (disjoint pools).
+  void append_machines(const Schedule& other);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::vector<Slot>> machines_;
+};
+
+}  // namespace minmach

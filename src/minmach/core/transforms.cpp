@@ -1,0 +1,119 @@
+#include "minmach/core/transforms.hpp"
+
+#include <stdexcept>
+
+namespace minmach {
+
+Instance inflate(const Instance& in, const Rat& s) {
+  if (s < Rat(1)) throw std::invalid_argument("inflate: s must be >= 1");
+  std::vector<Job> jobs;
+  jobs.reserve(in.size());
+  for (const auto& j : in.jobs()) {
+    Job out = j;
+    out.processing = j.processing * s;
+    if (!out.well_formed())
+      throw std::invalid_argument(
+          "inflate: job becomes infeasible (p*s > window)");
+    jobs.push_back(out);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance shrink_window_right(const Instance& in, const Rat& gamma) {
+  if (gamma < Rat(0) || gamma >= Rat(1))
+    throw std::invalid_argument("shrink_window_right: gamma must be in [0,1)");
+  std::vector<Job> jobs;
+  jobs.reserve(in.size());
+  for (const auto& j : in.jobs()) {
+    Job out = j;
+    out.deadline = j.deadline - gamma * j.laxity();
+    jobs.push_back(out);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance shrink_window_left(const Instance& in, const Rat& gamma) {
+  if (gamma < Rat(0) || gamma >= Rat(1))
+    throw std::invalid_argument("shrink_window_left: gamma must be in [0,1)");
+  std::vector<Job> jobs;
+  jobs.reserve(in.size());
+  for (const auto& j : in.jobs()) {
+    Job out = j;
+    out.release = j.release + gamma * j.laxity();
+    jobs.push_back(out);
+  }
+  return Instance(std::move(jobs));
+}
+
+std::vector<Instance> lemma4_split(const Instance& in, const Rat& s,
+                                   const Rat& alpha) {
+  if (s < Rat(1)) throw std::invalid_argument("lemma4_split: s must be >= 1");
+  if (alpha * s >= Rat(1))
+    throw std::invalid_argument("lemma4_split: requires alpha < 1/s");
+  const BigInt ceil_s_big = s.ceil();
+  const auto ceil_s = static_cast<std::size_t>(ceil_s_big.to_int64());
+  const Rat ceil_s_rat(ceil_s_big, BigInt(1));
+
+  std::vector<Instance> pieces(ceil_s);
+  for (const auto& j : in.jobs()) {
+    if (!j.is_loose(alpha))
+      throw std::invalid_argument("lemma4_split: job is not alpha-loose");
+    const Rat delta =
+        (Rat(1) - alpha * s) / ceil_s_rat * j.window_length();
+    const Rat stride = j.processing + delta;
+    for (std::size_t i = 1; i <= ceil_s; ++i) {
+      Job piece;
+      const Rat i_rat(static_cast<std::int64_t>(i));
+      piece.release = j.release + (i_rat - Rat(1)) * stride;
+      if (i < ceil_s) {
+        piece.deadline = j.release + i_rat * stride;
+        piece.processing = j.processing;
+      } else {
+        piece.deadline = j.release + s * j.processing + ceil_s_rat * delta;
+        piece.processing = (s - ceil_s_rat + Rat(1)) * j.processing;
+      }
+      pieces[i - 1].add_job(piece);
+    }
+  }
+  return pieces;
+}
+
+Job affine(const Job& job, const Rat& offset, const Rat& scale) {
+  Job out;
+  out.release = offset + scale * job.release;
+  out.deadline = offset + scale * job.deadline;
+  out.processing = scale * job.processing;
+  return out;
+}
+
+Instance affine(const Instance& in, const Rat& offset, const Rat& scale) {
+  if (!scale.is_positive())
+    throw std::invalid_argument("affine: scale must be positive");
+  std::vector<Job> jobs;
+  jobs.reserve(in.size());
+  for (const auto& j : in.jobs()) jobs.push_back(affine(j, offset, scale));
+  return Instance(std::move(jobs));
+}
+
+Instance concat(const Instance& a, const Instance& b) {
+  std::vector<Job> jobs = a.jobs();
+  jobs.insert(jobs.end(), b.jobs().begin(), b.jobs().end());
+  return Instance(std::move(jobs));
+}
+
+Split split_by_looseness(const Instance& in, const Rat& alpha) {
+  Split out;
+  for (JobId id = 0; id < in.size(); ++id) {
+    const Job& j = in.job(id);
+    if (j.is_loose(alpha)) {
+      out.loose.add_job(j);
+      out.loose_ids.push_back(id);
+    } else {
+      out.tight.add_job(j);
+      out.tight_ids.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace minmach

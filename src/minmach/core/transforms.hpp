@@ -1,0 +1,59 @@
+// Instance transforms used by Section 4's reduction machinery:
+//  - inflate: J -> J^s   (processing times scaled by s; Theorem 6)
+//  - shrink_window_left / _right: J -> J^{gamma}  (remove a gamma-fraction
+//    of the laxity from one side of every window; Lemma 3)
+//  - lemma4_split: the ceil(s) sub-instances J_1..J_{ceil(s)} from Lemma 4's
+//    proof, each a translated copy of the job packed into consecutive
+//    (p_j + delta_j)-sized sub-windows
+//  - affine: t -> offset + scale * t (the adversary's rescaling primitive)
+#pragma once
+
+#include <vector>
+
+#include "minmach/core/instance.hpp"
+
+namespace minmach {
+
+// Multiplies every processing time by s (s >= 1). Jobs whose inflated
+// processing time would exceed their window make the result infeasible;
+// throws std::invalid_argument in that case.
+[[nodiscard]] Instance inflate(const Instance& in, const Rat& s);
+
+// J^{0,gamma} of Lemma 3: window becomes [r_j, d_j - gamma*l_j).
+[[nodiscard]] Instance shrink_window_right(const Instance& in,
+                                           const Rat& gamma);
+// J^{gamma} of Lemma 3: window becomes [r_j + gamma*l_j, d_j).
+[[nodiscard]] Instance shrink_window_left(const Instance& in,
+                                          const Rat& gamma);
+
+// The Lemma 4 decomposition of J^s for instances of alpha-loose jobs with
+// alpha < 1/s: returns ceil(s) instances J_1..J_{ceil(s)}; J_i holds, for
+// each original job j, the piece with window
+//   [r_j + (i-1)(p_j + delta_j), r_j + i(p_j + delta_j))
+// and processing p_j (the last piece carries the remainder
+// (s - ceil(s) + 1) p_j and stretches to r_j + s p_j + ceil(s) delta_j),
+// where delta_j = (1 - alpha s)/ceil(s) * (d_j - r_j).
+[[nodiscard]] std::vector<Instance> lemma4_split(const Instance& in,
+                                                 const Rat& s,
+                                                 const Rat& alpha);
+
+// Affine time transform: r,d -> offset + scale * (r,d), p -> scale * p.
+// Requires scale > 0.
+[[nodiscard]] Instance affine(const Instance& in, const Rat& offset,
+                              const Rat& scale);
+[[nodiscard]] Job affine(const Job& job, const Rat& offset, const Rat& scale);
+
+// Concatenates two instances (job order preserved: a's jobs then b's).
+[[nodiscard]] Instance concat(const Instance& a, const Instance& b);
+
+// The sub-instance of all alpha-loose (respectively alpha-tight) jobs,
+// with the mapping back to original ids.
+struct Split {
+  Instance loose;
+  Instance tight;
+  std::vector<JobId> loose_ids;  // original id of loose.job(i)
+  std::vector<JobId> tight_ids;
+};
+[[nodiscard]] Split split_by_looseness(const Instance& in, const Rat& alpha);
+
+}  // namespace minmach

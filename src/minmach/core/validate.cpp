@@ -1,0 +1,97 @@
+#include "minmach/core/validate.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace minmach {
+
+std::string ValidationResult::summary() const {
+  if (ok) return "ok";
+  std::string out;
+  for (const auto& e : errors) {
+    out += e;
+    out += "\n";
+  }
+  return out;
+}
+
+ValidationResult validate(const Instance& instance, const Schedule& schedule,
+                          const ValidateOptions& options) {
+  ValidationResult result;
+
+  // Per-machine slot sanity and exclusivity.
+  std::map<JobId, std::vector<Slot>> by_job;
+  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
+    std::vector<Slot> slots = schedule.slots(m);
+    std::sort(slots.begin(), slots.end(),
+              [](const Slot& a, const Slot& b) { return a.start < b.start; });
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const Slot& slot = slots[i];
+      if (slot.job >= instance.size()) {
+        result.fail("machine " + std::to_string(m) + ": unknown job id " +
+                    std::to_string(slot.job));
+        continue;
+      }
+      if (slot.end <= slot.start)
+        result.fail("machine " + std::to_string(m) + ": empty/negative slot");
+      const Job& job = instance.job(slot.job);
+      if (slot.start < job.release || slot.end > job.deadline)
+        result.fail("job " + std::to_string(slot.job) +
+                    " runs outside its window [" + job.release.to_string() +
+                    "," + job.deadline.to_string() + "): slot [" +
+                    slot.start.to_string() + "," + slot.end.to_string() + ")");
+      if (i > 0 && slot.start < slots[i - 1].end)
+        result.fail("machine " + std::to_string(m) +
+                    ": overlapping slots at t=" + slot.start.to_string());
+      by_job[slot.job].push_back(slot);
+    }
+  }
+
+  // Per-job checks.
+  for (JobId id = 0; id < instance.size(); ++id) {
+    const Job& job = instance.job(id);
+    auto it = by_job.find(id);
+    const Rat required = job.processing / options.speed;
+
+    if (it == by_job.end()) {
+      if (!options.allow_unfinished)
+        result.fail("job " + std::to_string(id) + " never scheduled");
+      continue;
+    }
+    std::vector<Slot>& slots = it->second;
+    std::sort(slots.begin(), slots.end(),
+              [](const Slot& a, const Slot& b) { return a.start < b.start; });
+
+    Rat wall(0);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      wall += slots[i].length();
+      if (i > 0 && slots[i].start < slots[i - 1].end)
+        result.fail("job " + std::to_string(id) +
+                    " runs on two machines simultaneously at t=" +
+                    slots[i].start.to_string());
+    }
+    if (options.allow_unfinished ? wall > required : wall != required)
+      result.fail("job " + std::to_string(id) + " receives " +
+                  wall.to_string() + " wall time, requires " +
+                  required.to_string());
+
+    if (options.require_non_migratory &&
+        schedule.machines_of(id).size() > 1)
+      result.fail("job " + std::to_string(id) +
+                  " migrates between machines");
+    if (options.require_non_preemptive) {
+      for (std::size_t i = 1; i < slots.size(); ++i)
+        if (slots[i].start != slots[i - 1].end) {
+          result.fail("job " + std::to_string(id) + " is preempted");
+          break;
+        }
+      if (schedule.machines_of(id).size() > 1)
+        result.fail("job " + std::to_string(id) +
+                    " is non-contiguous across machines");
+    }
+  }
+
+  return result;
+}
+
+}  // namespace minmach

@@ -1,0 +1,47 @@
+// Exact feasibility audit of a schedule against an instance. Every
+// algorithm in this library is required to produce validator-clean
+// schedules; the property-test suites and every experiment driver run this
+// after each scheduling call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+
+namespace minmach {
+
+struct ValidateOptions {
+  // Each job must run on at most one machine.
+  bool require_non_migratory = false;
+  // Each job must run in one contiguous slot.
+  bool require_non_preemptive = false;
+  // Machine speed: a slot of wall length L completes speed*L units of
+  // work. The paper's speed-augmentation results (Theorem 7) need s > 1.
+  Rat speed = Rat(1);
+  // If true, jobs may be incomplete (used to audit prefixes of online runs).
+  bool allow_unfinished = false;
+};
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string message) {
+    ok = false;
+    errors.push_back(std::move(message));
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+// Checks: slot sanity (job id valid, start < end, slot inside the job's
+// window), machine exclusivity (no overlapping slots per machine), no job
+// runs on two machines at the same moment, every job receives exactly
+// p_j / speed wall time (at least 0 and at most that if allow_unfinished),
+// plus the non-migratory / non-preemptive structure when requested.
+[[nodiscard]] ValidationResult validate(const Instance& instance,
+                                        const Schedule& schedule,
+                                        const ValidateOptions& options = {});
+
+}  // namespace minmach

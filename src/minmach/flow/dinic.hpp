@@ -1,0 +1,107 @@
+// Dinic's max-flow over an arbitrary ordered capacity type. The scheduling
+// feasibility network (Horn 1974) uses exact rational capacities so that
+// adversarially constructed instances (whose denominators are unbounded, see
+// DESIGN.md §2) are certified exactly; unit tests also instantiate the
+// template with long long.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace minmach {
+
+template <typename Cap>
+class Dinic {
+ public:
+  explicit Dinic(std::size_t node_count)
+      : adjacency_(node_count), level_(node_count), next_edge_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+
+  // Returns a handle usable with flow_on() after max_flow().
+  std::size_t add_edge(std::size_t from, std::size_t to, Cap capacity) {
+    if (from >= node_count() || to >= node_count())
+      throw std::out_of_range("Dinic: node out of range");
+    std::size_t handle = edges_.size();
+    edges_.push_back({to, std::move(capacity), false});
+    edges_.push_back({from, Cap(0), true});
+    adjacency_[from].push_back(handle);
+    adjacency_[to].push_back(handle + 1);
+    return handle;
+  }
+
+  Cap max_flow(std::size_t source, std::size_t sink) {
+    if (source == sink) throw std::invalid_argument("Dinic: source == sink");
+    Cap total(0);
+    while (build_levels(source, sink)) {
+      next_edge_.assign(node_count(), 0);
+      while (true) {
+        Cap pushed = push(source, sink, Cap(-1));
+        if (!(Cap(0) < pushed)) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+  // Flow routed through the edge returned by add_edge (reverse residual).
+  [[nodiscard]] Cap flow_on(std::size_t handle) const {
+    return edges_[handle + 1].capacity;
+  }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    Cap capacity;  // residual
+    bool is_reverse;
+  };
+
+  bool build_levels(std::size_t source, std::size_t sink) {
+    level_.assign(node_count(), -1);
+    std::queue<std::size_t> frontier;
+    level_[source] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+      std::size_t node = frontier.front();
+      frontier.pop();
+      for (std::size_t handle : adjacency_[node]) {
+        const Edge& edge = edges_[handle];
+        if (level_[edge.to] == -1 && Cap(0) < edge.capacity) {
+          level_[edge.to] = level_[node] + 1;
+          frontier.push(edge.to);
+        }
+      }
+    }
+    return level_[sink] != -1;
+  }
+
+  // limit < 0 means unbounded (only the source call uses that).
+  Cap push(std::size_t node, std::size_t sink, Cap limit) {
+    if (node == sink) return limit;
+    for (std::size_t& i = next_edge_[node]; i < adjacency_[node].size(); ++i) {
+      std::size_t handle = adjacency_[node][i];
+      Edge& edge = edges_[handle];
+      if (!(Cap(0) < edge.capacity) || level_[edge.to] != level_[node] + 1)
+        continue;
+      Cap sub_limit = edge.capacity;
+      if (Cap(0) < limit && limit < sub_limit) sub_limit = limit;
+      Cap pushed = push(edge.to, sink, sub_limit);
+      if (Cap(0) < pushed) {
+        edge.capacity -= pushed;
+        edges_[handle ^ 1].capacity += pushed;
+        return pushed;
+      }
+    }
+    return Cap(0);
+  }
+
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<Edge> edges_;
+  std::vector<int> level_;
+  std::vector<std::size_t> next_edge_;
+};
+
+}  // namespace minmach

@@ -1,0 +1,221 @@
+#include "minmach/flow/feasibility.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "minmach/flow/dinic.hpp"
+
+namespace minmach {
+
+namespace {
+
+// ---- integer fast path -------------------------------------------------
+//
+// When every time parameter fits a common small grid (LCM of denominators
+// times values fits in int64 with headroom for m * length sums), the Horn
+// network runs over __int128 capacities instead of BigInt rationals --
+// typically 50-100x faster. Adversarial instances with unbounded
+// denominators fall back to the exact rational network.
+
+struct IntegerGrid {
+  bool usable = false;
+  std::vector<std::int64_t> release;
+  std::vector<std::int64_t> deadline;
+  std::vector<std::int64_t> processing;
+};
+
+IntegerGrid try_integer_grid(const Instance& instance) {
+  IntegerGrid grid;
+  BigInt lcm = instance.denominator_lcm();
+  // Guard: scaled values must fit comfortably (sums of m * length stay
+  // within __int128 as long as individual values fit int64 / n).
+  if (lcm.bit_length() > 40) return grid;
+  const Rat scale(lcm, BigInt(1));
+  grid.release.reserve(instance.size());
+  grid.deadline.reserve(instance.size());
+  grid.processing.reserve(instance.size());
+  for (const Job& j : instance.jobs()) {
+    for (const Rat* value : {&j.release, &j.deadline, &j.processing}) {
+      BigInt scaled = (*value * scale).num();  // integral by construction
+      if (scaled.bit_length() > 62) return grid;
+    }
+    grid.release.push_back((j.release * scale).num().to_int64());
+    grid.deadline.push_back((j.deadline * scale).num().to_int64());
+    grid.processing.push_back((j.processing * scale).num().to_int64());
+  }
+  grid.usable = true;
+  return grid;
+}
+
+bool feasible_integer(const IntegerGrid& grid, std::int64_t machines) {
+  const std::size_t n = grid.release.size();
+  std::vector<std::int64_t> points;
+  points.reserve(2 * n);
+  points.insert(points.end(), grid.release.begin(), grid.release.end());
+  points.insert(points.end(), grid.deadline.begin(), grid.deadline.end());
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t segments = points.empty() ? 0 : points.size() - 1;
+
+  Dinic<__int128> graph(n + segments + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = n + segments + 1;
+  __int128 total_work = 0;
+  for (std::size_t k = 0; k < segments; ++k) {
+    __int128 length = points[k + 1] - points[k];
+    graph.add_edge(n + 1 + k, sink, static_cast<__int128>(machines) * length);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    total_work += grid.processing[j];
+    graph.add_edge(source, 1 + j, grid.processing[j]);
+    for (std::size_t k = 0; k < segments; ++k) {
+      if (grid.release[j] <= points[k] &&
+          points[k + 1] <= grid.deadline[j]) {
+        graph.add_edge(1 + j, n + 1 + k, points[k + 1] - points[k]);
+      }
+    }
+  }
+  return graph.max_flow(source, sink) == total_work;
+}
+
+struct Network {
+  Dinic<Rat> graph;
+  std::vector<Rat> points;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>>
+      job_segment_edges;  // per job: (segment index, edge handle)
+  Rat total_work;
+  std::size_t source;
+  std::size_t sink;
+};
+
+Network build_network(const Instance& instance, std::int64_t machines) {
+  std::vector<Rat> points = instance.event_points();
+  const std::size_t n = instance.size();
+  const std::size_t segments = points.empty() ? 0 : points.size() - 1;
+  // Node layout: 0 = source, 1..n = jobs, n+1..n+segments = segments, last =
+  // sink.
+  Network net{Dinic<Rat>(n + segments + 2),
+              points,
+              std::vector<std::vector<std::pair<std::size_t, std::size_t>>>(n),
+              Rat(0),
+              0,
+              n + segments + 1};
+
+  const Rat m_rat(machines);
+  for (std::size_t k = 0; k < segments; ++k) {
+    Rat length = net.points[k + 1] - net.points[k];
+    net.graph.add_edge(n + 1 + k, net.sink, m_rat * length);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const Job& job = instance.job(j);
+    net.total_work += job.processing;
+    net.graph.add_edge(net.source, 1 + j, job.processing);
+    for (std::size_t k = 0; k < segments; ++k) {
+      if (job.release <= net.points[k] && net.points[k + 1] <= job.deadline) {
+        Rat length = net.points[k + 1] - net.points[k];
+        std::size_t handle = net.graph.add_edge(1 + j, n + 1 + k, length);
+        net.job_segment_edges[j].emplace_back(k, handle);
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace
+
+bool feasible_migratory(const Instance& instance, std::int64_t machines) {
+  if (instance.empty()) return true;
+  if (machines <= 0) return false;
+  if (!instance.well_formed()) return false;
+  if (IntegerGrid grid = try_integer_grid(instance); grid.usable)
+    return feasible_integer(grid, machines);
+  Network net = build_network(instance, machines);
+  return net.graph.max_flow(net.source, net.sink) == net.total_work;
+}
+
+std::optional<FlowAllocation> solve_migratory(const Instance& instance,
+                                              std::int64_t machines) {
+  if (instance.empty())
+    return FlowAllocation{instance.event_points(), {}};
+  if (machines <= 0 || !instance.well_formed()) return std::nullopt;
+  Network net = build_network(instance, machines);
+  if (net.graph.max_flow(net.source, net.sink) != net.total_work)
+    return std::nullopt;
+
+  FlowAllocation out;
+  out.segment_starts = net.points;
+  out.per_job.assign(instance.size(),
+                     std::vector<Rat>(net.points.size() - 1, Rat(0)));
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    for (const auto& [segment, handle] : net.job_segment_edges[j]) {
+      out.per_job[j][segment] = net.graph.flow_on(handle);
+    }
+  }
+  return out;
+}
+
+std::int64_t optimal_migratory_machines(const Instance& instance) {
+  if (instance.empty()) return 0;
+  if (!instance.well_formed())
+    throw std::invalid_argument(
+        "optimal_migratory_machines: malformed instance");
+  std::int64_t lo = 1;
+  std::int64_t hi = static_cast<std::int64_t>(instance.size());
+  // feasible_migratory is monotone in m and always true at m = n (each job
+  // alone on a machine, p_j <= d_j - r_j).
+  while (lo < hi) {
+    std::int64_t mid = lo + (hi - lo) / 2;
+    if (feasible_migratory(instance, mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+Schedule optimal_migratory_schedule(const Instance& instance,
+                                    std::int64_t machines) {
+  auto allocation = solve_migratory(instance, machines);
+  if (!allocation)
+    throw std::invalid_argument(
+        "optimal_migratory_schedule: instance infeasible on given machines");
+  Schedule schedule(static_cast<std::size_t>(machines));
+  if (instance.empty()) return schedule;
+
+  const std::size_t segments = allocation->segment_starts.size() - 1;
+  for (std::size_t k = 0; k < segments; ++k) {
+    // McNaughton wrap-around rule inside segment k: lay the jobs' pieces
+    // end-to-end across machines; a piece split at a machine boundary
+    // cannot overlap itself because each piece is at most the segment
+    // length.
+    const Rat seg_start = allocation->segment_starts[k];
+    const Rat seg_end = allocation->segment_starts[k + 1];
+    std::size_t machine = 0;
+    Rat cursor = seg_start;
+    for (std::size_t j = 0; j < instance.size(); ++j) {
+      Rat remaining = allocation->per_job[j][k];
+      if (!remaining.is_positive()) continue;
+      while (remaining.is_positive()) {
+        Rat available = seg_end - cursor;
+        if (!available.is_positive()) {
+          ++machine;
+          cursor = seg_start;
+          available = seg_end - seg_start;
+        }
+        Rat chunk = Rat::min(remaining, available);
+        if (machine >= static_cast<std::size_t>(machines))
+          throw std::logic_error(
+              "optimal_migratory_schedule: McNaughton overflow");
+        schedule.add_slot(machine, cursor, cursor + chunk,
+                          static_cast<JobId>(j));
+        cursor += chunk;
+        remaining -= chunk;
+      }
+    }
+  }
+  schedule.canonicalize();
+  return schedule;
+}
+
+}  // namespace minmach

@@ -1,0 +1,45 @@
+// Exact migratory feasibility and OPT via max flow (Horn's network):
+// source -> job j with capacity p_j; job -> segment [t_k, t_k+1) with
+// capacity t_k+1 - t_k whenever the segment lies in I(j); segment -> sink
+// with capacity m * (t_k+1 - t_k). The instance is feasible on m migratory
+// machines iff the max flow saturates all source edges. This is the
+// polynomial-time offline optimum the paper's introduction refers to ([6]),
+// and the ground truth every competitive-ratio experiment divides by.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+
+namespace minmach {
+
+// Per-segment processing assignment: allocation[j][k] = wall time job j is
+// processed during segment k (segments from Instance::event_points()).
+struct FlowAllocation {
+  std::vector<Rat> segment_starts;  // size k+1: the event points
+  std::vector<std::vector<Rat>> per_job;
+};
+
+// True iff the instance admits a feasible preemptive migratory schedule on
+// `machines` unit-speed machines.
+[[nodiscard]] bool feasible_migratory(const Instance& instance,
+                                      std::int64_t machines);
+
+// As above, and on success returns the per-segment allocation.
+[[nodiscard]] std::optional<FlowAllocation> solve_migratory(
+    const Instance& instance, std::int64_t machines);
+
+// Exact minimum machine count (binary search over feasible_migratory).
+// Returns 0 for the empty instance.
+[[nodiscard]] std::int64_t optimal_migratory_machines(const Instance& instance);
+
+// Builds a concrete feasible migratory schedule on `machines` machines
+// (McNaughton wrap-around within each segment). Throws std::invalid_argument
+// if infeasible. Pass optimal_migratory_machines(..) for an OPT schedule.
+[[nodiscard]] Schedule optimal_migratory_schedule(const Instance& instance,
+                                                  std::int64_t machines);
+
+}  // namespace minmach

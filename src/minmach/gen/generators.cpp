@@ -1,0 +1,183 @@
+#include "minmach/gen/generators.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace minmach {
+
+namespace {
+
+// Random processing time on the grid with numerator in [lo_num, hi_num]
+// (clamped to at least 1).
+Rat grid_rat(Rng& rng, std::int64_t lo_num, std::int64_t hi_num,
+             std::int64_t den) {
+  if (lo_num < 1) lo_num = 1;
+  if (hi_num < lo_num) hi_num = lo_num;
+  return {rng.uniform_int(lo_num, hi_num), den};
+}
+
+// p uniform with numerator in (alpha * len_num, len_num] -- alpha-tight.
+Rat tight_processing(Rng& rng, const Rat& window, const Rat& alpha,
+                     std::int64_t den) {
+  Rat len_num = window * Rat(den);  // integer by construction
+  std::int64_t hi = len_num.floor().to_int64();
+  Rat lo_rat = alpha * len_num;
+  std::int64_t lo = lo_rat.floor().to_int64() + 1;  // strictly above alpha*len
+  if (lo > hi) lo = hi;
+  return {rng.uniform_int(lo, hi), den};
+}
+
+// p uniform with numerator in [1, alpha * len_num] -- alpha-loose.
+Rat loose_processing(Rng& rng, const Rat& window, const Rat& alpha,
+                     std::int64_t den) {
+  Rat len_num = window * Rat(den);
+  Rat hi_rat = alpha * len_num;
+  std::int64_t hi = hi_rat.floor().to_int64();
+  if (hi < 1) hi = 1;  // degenerate grids: may slightly exceed alpha
+  return {rng.uniform_int(1, hi), den};
+}
+
+Job random_window_job(Rng& rng, const GenConfig& c) {
+  Job j;
+  j.release = grid_rat(rng, 0, c.horizon * c.denominator, c.denominator);
+  Rat window = grid_rat(rng, c.denominator, c.max_window * c.denominator,
+                        c.denominator);
+  j.deadline = j.release + window;
+  j.processing =
+      grid_rat(rng, 1, (window * Rat(c.denominator)).floor().to_int64(),
+               c.denominator);
+  return j;
+}
+
+}  // namespace
+
+Instance gen_general(Rng& rng, const GenConfig& c) {
+  Instance out;
+  for (std::size_t i = 0; i < c.n; ++i) out.add_job(random_window_job(rng, c));
+  out.sort_canonical();
+  return out;
+}
+
+Instance gen_agreeable(Rng& rng, const GenConfig& c) {
+  // Sorted releases; deadlines forced monotone non-decreasing.
+  std::vector<Rat> releases;
+  releases.reserve(c.n);
+  for (std::size_t i = 0; i < c.n; ++i)
+    releases.push_back(
+        grid_rat(rng, 0, c.horizon * c.denominator, c.denominator));
+  std::sort(releases.begin(), releases.end());
+
+  Instance out;
+  Rat last_deadline(0);
+  for (std::size_t i = 0; i < c.n; ++i) {
+    Job j;
+    j.release = releases[i];
+    Rat window = grid_rat(rng, c.denominator, c.max_window * c.denominator,
+                          c.denominator);
+    j.deadline = Rat::max(j.release + window, last_deadline);
+    last_deadline = j.deadline;
+    Rat true_window = j.deadline - j.release;
+    j.processing = grid_rat(
+        rng, 1, (true_window * Rat(c.denominator)).floor().to_int64(),
+        c.denominator);
+    out.add_job(j);
+  }
+  return out;
+}
+
+Instance gen_laminar(Rng& rng, const GenConfig& c) {
+  Instance out;
+  // Single laminar tree over the integer grid (numerators of
+  // 1/denominator): a breadth-first queue of intervals; each popped
+  // interval spawns one job with exactly that window and is partitioned
+  // into disjoint child intervals. One tree means every pair of windows is
+  // nested or disjoint by construction.
+  std::int64_t grid_horizon = c.horizon * c.denominator;
+  std::vector<std::pair<std::int64_t, std::int64_t>> queue{{0, grid_horizon}};
+  std::size_t head = 0;
+  while (head < queue.size() && out.size() < c.n) {
+    auto [lo, hi] = queue[head++];
+    Job j;
+    j.release = Rat(lo, c.denominator);
+    j.deadline = Rat(hi, c.denominator);
+    j.processing = Rat(rng.uniform_int(1, hi - lo), c.denominator);
+    out.add_job(j);
+    // Partition [lo, hi) into 2-3 disjoint children with random gaps.
+    std::int64_t pieces = rng.uniform_int(2, 3);
+    std::int64_t cursor = lo;
+    for (std::int64_t piece = 0; piece < pieces && cursor < hi; ++piece) {
+      std::int64_t remaining = hi - cursor;
+      std::int64_t width =
+          rng.uniform_int(1, std::max<std::int64_t>(1, remaining / pieces));
+      if (cursor + width > hi) width = hi - cursor;
+      if (width >= 2) queue.emplace_back(cursor, cursor + width);
+      cursor += width + rng.uniform_int(0, 2);  // optional gap
+    }
+  }
+  out.sort_canonical();
+  return out;
+}
+
+Instance gen_loose(Rng& rng, const GenConfig& c, const Rat& alpha) {
+  Instance out;
+  for (std::size_t i = 0; i < c.n; ++i) {
+    Job j = random_window_job(rng, c);
+    j.processing = loose_processing(rng, j.window_length(), alpha,
+                                    c.denominator);
+    out.add_job(j);
+  }
+  out.sort_canonical();
+  return out;
+}
+
+Instance gen_tight(Rng& rng, const GenConfig& c, const Rat& alpha) {
+  Instance out;
+  for (std::size_t i = 0; i < c.n; ++i) {
+    Job j = random_window_job(rng, c);
+    j.processing = tight_processing(rng, j.window_length(), alpha,
+                                    c.denominator);
+    out.add_job(j);
+  }
+  out.sort_canonical();
+  return out;
+}
+
+Instance gen_agreeable_tight(Rng& rng, const GenConfig& c, const Rat& alpha) {
+  Instance base = gen_agreeable(rng, c);
+  Instance out;
+  for (const Job& j : base.jobs()) {
+    Job t = j;
+    t.processing = tight_processing(rng, j.window_length(), alpha,
+                                    c.denominator);
+    out.add_job(t);
+  }
+  return out;
+}
+
+Instance gen_laminar_tight(Rng& rng, const GenConfig& c, const Rat& alpha) {
+  Instance base = gen_laminar(rng, c);
+  Instance out;
+  for (const Job& j : base.jobs()) {
+    Job t = j;
+    t.processing = tight_processing(rng, j.window_length(), alpha,
+                                    c.denominator);
+    out.add_job(t);
+  }
+  out.sort_canonical();
+  return out;
+}
+
+Instance gen_unit(Rng& rng, const GenConfig& c) {
+  Instance out;
+  for (std::size_t i = 0; i < c.n; ++i) {
+    Job j;
+    j.release = Rat(rng.uniform_int(0, c.horizon));
+    j.deadline = j.release + Rat(rng.uniform_int(1, c.max_window));
+    j.processing = Rat(1);
+    out.add_job(j);
+  }
+  out.sort_canonical();
+  return out;
+}
+
+}  // namespace minmach

@@ -1,0 +1,51 @@
+// Seeded random instance families for the test and benchmark harnesses:
+// general, agreeable (sorted windows), laminar (nested windows), all-loose,
+// all-tight, and unit-processing-time jobs. All times land on the integer
+// grid 1/denominator so flow certification stays fast; everything is
+// reproducible from the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+
+struct GenConfig {
+  std::size_t n = 50;            // number of jobs (laminar: approximate)
+  std::int64_t horizon = 200;    // releases fall in [0, horizon)
+  std::int64_t max_window = 40;  // window lengths in [1, max_window]
+  std::int64_t denominator = 4;  // time grid granularity
+};
+
+// Unconstrained windows; processing a uniform fraction of the window.
+[[nodiscard]] Instance gen_general(Rng& rng, const GenConfig& config);
+
+// Agreeable: r_i sorted ascending with deadlines forced monotone.
+[[nodiscard]] Instance gen_agreeable(Rng& rng, const GenConfig& config);
+
+// Laminar: recursive nesting; every pair of intersecting windows is nested.
+[[nodiscard]] Instance gen_laminar(Rng& rng, const GenConfig& config);
+
+// All jobs alpha-loose: p_j <= alpha * (d_j - r_j) (strictly positive).
+[[nodiscard]] Instance gen_loose(Rng& rng, const GenConfig& config,
+                                 const Rat& alpha);
+
+// All jobs alpha-tight: p_j > alpha * (d_j - r_j).
+[[nodiscard]] Instance gen_tight(Rng& rng, const GenConfig& config,
+                                 const Rat& alpha);
+
+// Agreeable + alpha-tight (the Lemma 8 regime).
+[[nodiscard]] Instance gen_agreeable_tight(Rng& rng, const GenConfig& config,
+                                           const Rat& alpha);
+
+// Laminar + alpha-tight (the Theorem 9 regime).
+[[nodiscard]] Instance gen_laminar_tight(Rng& rng, const GenConfig& config,
+                                         const Rat& alpha);
+
+// Unit processing times, integer releases, window lengths in
+// [1, max_window].
+[[nodiscard]] Instance gen_unit(Rng& rng, const GenConfig& config);
+
+}  // namespace minmach

@@ -1,0 +1,86 @@
+#include "minmach/io/gantt.hpp"
+
+#include <sstream>
+
+namespace minmach {
+
+namespace {
+
+char glyph_for(JobId job) {
+  static const char glyphs[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  return glyphs[job % (sizeof(glyphs) - 1)];
+}
+
+}  // namespace
+
+std::string render_gantt(const Instance& instance, const Schedule& schedule,
+                         const GanttOptions& options) {
+  std::ostringstream out;
+  if (schedule.machine_count() == 0 || options.width == 0) {
+    out << "(empty schedule)\n";
+    return out.str();
+  }
+
+  // Time span across all slots.
+  bool any = false;
+  Rat t_min(0);
+  Rat t_max(1);
+  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
+    for (const auto& slot : schedule.slots(m)) {
+      if (!any || slot.start < t_min) t_min = slot.start;
+      if (!any || t_max < slot.end) t_max = slot.end;
+      any = true;
+    }
+  }
+  if (!any) {
+    out << "(empty schedule)\n";
+    return out.str();
+  }
+  const Rat span = t_max - t_min;
+  const Rat cell = span / Rat(static_cast<std::int64_t>(options.width));
+
+  out << "time [" << t_min.to_string() << ", " << t_max.to_string() << "), "
+      << options.width << " columns, " << cell.to_string() << " per column\n";
+  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
+    out << "M" << m << " |";
+    const auto& slots = schedule.slots(m);
+    std::size_t cursor = 0;
+    for (std::size_t col = 0; col < options.width; ++col) {
+      // Column [lo, hi): show the job with the largest overlap, so slots
+      // narrower than one column still render (adversarial instances nest
+      // jobs at wildly different time scales).
+      Rat lo = t_min + cell * Rat(static_cast<std::int64_t>(col));
+      Rat hi = lo + cell;
+      while (cursor < slots.size() && slots[cursor].end <= lo) ++cursor;
+      JobId best = kInvalidJob;
+      Rat best_overlap(0);
+      for (std::size_t s = cursor; s < slots.size() && slots[s].start < hi;
+           ++s) {
+        Rat overlap =
+            Rat::min(slots[s].end, hi) - Rat::max(slots[s].start, lo);
+        if (overlap > best_overlap) {
+          best_overlap = overlap;
+          best = slots[s].job;
+        }
+      }
+      out << (best == kInvalidJob ? '.' : glyph_for(best));
+    }
+    out << "|\n";
+  }
+
+  if (options.show_legend) {
+    out << "legend:";
+    std::size_t shown = 0;
+    for (JobId id = 0; id < instance.size() && shown < 26; ++id, ++shown) {
+      const Job& j = instance.job(id);
+      out << " " << glyph_for(id) << "=j" << id << "[" << j.release.to_string()
+          << "," << j.deadline.to_string() << ")p" << j.processing.to_string();
+    }
+    if (instance.size() > 26) out << " ... (" << instance.size() << " jobs)";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace minmach

@@ -1,0 +1,27 @@
+// ASCII Gantt rendering of schedules (one row per machine, one glyph per
+// job, '.' for idle). Used by the Figure 1 driver to display the certified
+// 3-machine migratory schedule of the lower-bound instance, and by the
+// examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+
+namespace minmach {
+
+struct GanttOptions {
+  std::size_t width = 96;  // columns for the full time span
+  bool show_legend = true;
+};
+
+// Renders [t_min, t_max) of the schedule scaled to `width` columns. A cell
+// shows the job occupying the cell's start time ('.' when idle). Glyphs
+// cycle through [A-Za-z0-9].
+[[nodiscard]] std::string render_gantt(const Instance& instance,
+                                       const Schedule& schedule,
+                                       const GanttOptions& options = {});
+
+}  // namespace minmach

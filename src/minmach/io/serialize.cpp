@@ -1,0 +1,105 @@
+#include "minmach/io/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace minmach {
+
+namespace {
+
+std::string next_token(std::istringstream& in, const char* what) {
+  std::string token;
+  if (!(in >> token))
+    throw std::invalid_argument(std::string("parse error: expected ") + what);
+  return token;
+}
+
+}  // namespace
+
+std::string to_text(const Instance& instance) {
+  std::ostringstream out;
+  out << "minmach-instance v1\n" << instance.size() << "\n";
+  for (const auto& j : instance.jobs()) {
+    out << j.release.to_string() << " " << j.deadline.to_string() << " "
+        << j.processing.to_string() << "\n";
+  }
+  return out.str();
+}
+
+Instance instance_from_text(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string magic;
+  std::string version;
+  in >> magic >> version;
+  if (magic != "minmach-instance" || version != "v1")
+    throw std::invalid_argument("parse error: bad instance header");
+  std::size_t n = 0;
+  if (!(in >> n)) throw std::invalid_argument("parse error: missing count");
+  Instance out;
+  for (std::size_t i = 0; i < n; ++i) {
+    Job j;
+    j.release = Rat::from_string(next_token(in, "release"));
+    j.deadline = Rat::from_string(next_token(in, "deadline"));
+    j.processing = Rat::from_string(next_token(in, "processing"));
+    out.add_job(j);
+  }
+  return out;
+}
+
+std::string to_text(const Schedule& schedule) {
+  std::ostringstream out;
+  std::size_t slots = schedule.total_slots();
+  out << "minmach-schedule v1\n"
+      << schedule.machine_count() << " " << slots << "\n";
+  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
+    for (const auto& slot : schedule.slots(m)) {
+      out << m << " " << slot.start.to_string() << " "
+          << slot.end.to_string() << " " << slot.job << "\n";
+    }
+  }
+  return out.str();
+}
+
+Schedule schedule_from_text(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string magic;
+  std::string version;
+  in >> magic >> version;
+  if (magic != "minmach-schedule" || version != "v1")
+    throw std::invalid_argument("parse error: bad schedule header");
+  std::size_t machines = 0;
+  std::size_t slots = 0;
+  if (!(in >> machines >> slots))
+    throw std::invalid_argument("parse error: missing counts");
+  Schedule out(machines);
+  for (std::size_t i = 0; i < slots; ++i) {
+    std::size_t machine = 0;
+    if (!(in >> machine))
+      throw std::invalid_argument("parse error: expected machine index");
+    Rat start = Rat::from_string(next_token(in, "start"));
+    Rat end = Rat::from_string(next_token(in, "end"));
+    std::string job = next_token(in, "job id");
+    out.add_slot(machine, start, end,
+                 static_cast<JobId>(std::stoul(job)));
+  }
+  out.canonicalize();
+  return out;
+}
+
+void save_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << contents;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::string load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace minmach

@@ -1,0 +1,30 @@
+// Plain-text round-trip for instances and schedules (exact: rationals are
+// written as "num/den"). Format:
+//
+//   minmach-instance v1
+//   <n>
+//   <release> <deadline> <processing>     (n lines)
+//
+//   minmach-schedule v1
+//   <machine_count> <slot_count>
+//   <machine> <start> <end> <job>         (slot_count lines)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+
+namespace minmach {
+
+[[nodiscard]] std::string to_text(const Instance& instance);
+[[nodiscard]] Instance instance_from_text(std::string_view text);
+
+[[nodiscard]] std::string to_text(const Schedule& schedule);
+[[nodiscard]] Schedule schedule_from_text(std::string_view text);
+
+void save_file(const std::string& path, const std::string& contents);
+[[nodiscard]] std::string load_file(const std::string& path);
+
+}  // namespace minmach

@@ -1,0 +1,108 @@
+#include "minmach/offline/kp_transform.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "minmach/algos/single_machine.hpp"
+
+namespace minmach {
+
+namespace {
+
+// Geometric class of the window-to-processing ratio: class k holds jobs
+// with (d-r)/p in [base^k, base^(k+1)).
+int laxity_class(const Job& job, std::int64_t base) {
+  Rat ratio = job.window_length() / job.processing;  // >= 1
+  int k = 0;
+  Rat threshold(base);
+  while (ratio >= threshold) {
+    threshold *= Rat(base);
+    ++k;
+    if (k > 200) break;  // ratios beyond base^200 all land together
+  }
+  return k;
+}
+
+}  // namespace
+
+KpResult migratory_to_nonmigratory(const Instance& instance,
+                                   std::int64_t class_base) {
+  if (class_base < 2)
+    throw std::invalid_argument("migratory_to_nonmigratory: base >= 2");
+  if (!instance.well_formed())
+    throw std::invalid_argument("migratory_to_nonmigratory: malformed jobs");
+
+  // Bucket by laxity class, then order inside a class by release date (the
+  // packing order KP's analysis uses within a tightness band).
+  std::map<int, std::vector<JobId>> classes;
+  for (JobId id = 0; id < instance.size(); ++id)
+    classes[laxity_class(instance.job(id), class_base)].push_back(id);
+
+  std::vector<std::vector<JobId>> machines;
+  for (auto& [cls, ids] : classes) {
+    std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
+      const Job& ja = instance.job(a);
+      const Job& jb = instance.job(b);
+      if (ja.release != jb.release) return ja.release < jb.release;
+      if (ja.deadline != jb.deadline) return ja.deadline < jb.deadline;
+      return a < b;
+    });
+    // First fit with full offline knowledge: the feasibility test sees
+    // every already-assigned job's true release date. The class ordering
+    // packs comparable-tightness jobs together (KP's structural idea), but
+    // machines are shared across classes -- a later, looser class fills the
+    // gaps earlier classes left.
+    for (JobId id : ids) {
+      const Job& job = instance.job(id);
+      bool placed = false;
+      for (std::size_t m = 0; m < machines.size(); ++m) {
+        std::vector<MachineCommitment> commitments;
+        commitments.reserve(machines[m].size() + 1);
+        for (JobId other : machines[m]) {
+          const Job& o = instance.job(other);
+          commitments.push_back({o.release, o.deadline, o.processing});
+        }
+        commitments.push_back({job.release, job.deadline, job.processing});
+        // start earlier than every release
+        Rat start = job.release;
+        for (const auto& c : commitments) start = Rat::min(start, c.available_from);
+        if (edf_feasible_single_machine(std::move(commitments), start)) {
+          machines[m].push_back(id);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) machines.push_back({id});
+    }
+  }
+
+  // Materialize per-machine EDF schedules.
+  KpResult out;
+  Schedule schedule(machines.size());
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    std::vector<LabeledCommitment> commitments;
+    Rat start;
+    bool first = true;
+    for (JobId id : machines[m]) {
+      const Job& job = instance.job(id);
+      commitments.push_back({job.release, job.deadline, job.processing, id});
+      if (first || job.release < start) start = job.release;
+      first = false;
+    }
+    auto slots = edf_schedule_single_machine(std::move(commitments), start);
+    if (!slots)
+      throw std::logic_error(
+          "migratory_to_nonmigratory: admission test accepted an infeasible "
+          "set");
+    for (const auto& slot : *slots)
+      schedule.add_slot(m, slot.start, slot.end, slot.job);
+  }
+  schedule.canonicalize();
+  out.machines = schedule.used_machine_count();
+  out.schedule = std::move(schedule);
+  return out;
+}
+
+}  // namespace minmach

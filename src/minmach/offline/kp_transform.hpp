@@ -1,0 +1,35 @@
+// Offline migratory -> non-migratory rewriting (the role of Theorem 2,
+// Kalyanasundaram & Pruhs: every migratory schedule on m machines can be
+// turned into a non-migratory one on 6m - 5 machines).
+//
+// The paper consumes the theorem purely as an existence result relating the
+// two notions of competitiveness (Lemma 1) and the explicit constant in
+// Theorem 4 (3 migratory machines -> 13 non-migratory). This module
+// implements a concrete transform in the same spirit (DESIGN.md §5,
+// substitution 2): jobs are bucketed into geometric laxity-ratio classes
+// (KP's key structural idea: jobs of comparable tightness pack together)
+// and assigned within each class by first fit under the exact
+// single-machine EDF feasibility test, with full offline knowledge of
+// release dates. Experiment E3 measures the achieved machine count against
+// the 6m - 5 bound across instance families.
+#pragma once
+
+#include <cstdint>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+
+namespace minmach {
+
+struct KpResult {
+  Schedule schedule;  // feasible, non-migratory
+  std::size_t machines = 0;
+};
+
+// Builds a feasible non-migratory schedule for any well-formed instance
+// (offline). `class_base` controls the geometric laxity-class bucketing
+// (ratio (d-r)/p thresholds at powers of class_base); 2 is the default.
+[[nodiscard]] KpResult migratory_to_nonmigratory(const Instance& instance,
+                                                 std::int64_t class_base = 2);
+
+}  // namespace minmach

@@ -1,0 +1,190 @@
+#include "minmach/sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace minmach {
+
+void OnlinePolicy::on_complete(Simulator&, JobId) {}
+void OnlinePolicy::on_miss(Simulator&, JobId) {}
+std::optional<Rat> OnlinePolicy::next_wakeup(const Simulator&) {
+  return std::nullopt;
+}
+
+Simulator::Simulator(OnlinePolicy& policy, Rat speed)
+    : policy_(policy), speed_(std::move(speed)) {
+  if (!speed_.is_positive())
+    throw std::invalid_argument("Simulator: speed must be positive");
+}
+
+JobId Simulator::submit(const Job& job) {
+  // Well-formedness relative to the machine speed: the job must fit its
+  // window when processed continuously at rate `speed_`.
+  if (!job.processing.is_positive() ||
+      job.processing / speed_ > job.window_length())
+    throw std::invalid_argument("Simulator: malformed job");
+  if (job.release < now_)
+    throw std::invalid_argument("Simulator: release date in the past");
+  JobId id = instance_.add_job(job);
+  remaining_.push_back(job.processing);
+  released_.push_back(false);
+  finished_.push_back(false);
+  missed_.push_back(false);
+  pending_.push({job.release, id});
+  return id;
+}
+
+void Simulator::submit_all(const Instance& instance) {
+  for (const auto& job : instance.jobs()) submit(job);
+}
+
+std::vector<JobId> Simulator::active_jobs() const {
+  std::vector<JobId> out;
+  for (JobId id = 0; id < instance_.size(); ++id) {
+    if (released_[id] && !finished_[id] && !missed_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+bool Simulator::all_done() const {
+  if (!pending_.empty()) return false;
+  for (JobId id = 0; id < instance_.size(); ++id) {
+    if (!finished_[id] && !missed_[id]) return false;
+  }
+  return true;
+}
+
+void Simulator::set_running(std::size_t machine, JobId job) {
+  if (machine >= running_.size()) {
+    running_.resize(machine + 1, kInvalidJob);
+    machine_touched_.resize(machine + 1, false);
+  }
+  if (job != kInvalidJob) {
+    if (job >= instance_.size() || !released_[job] || finished_[job] ||
+        missed_[job])
+      throw std::logic_error("Simulator: dispatching inactive job");
+    // A job must not run on two machines at once.
+    for (std::size_t m = 0; m < running_.size(); ++m) {
+      if (m != machine && running_[m] == job)
+        throw std::logic_error("Simulator: job dispatched on two machines");
+    }
+  }
+  running_[machine] = job;
+}
+
+JobId Simulator::running_on(std::size_t machine) const {
+  return machine < running_.size() ? running_[machine] : kInvalidJob;
+}
+
+void Simulator::deliver_events_at_now() {
+  // 1. Completions among running jobs.
+  for (std::size_t m = 0; m < running_.size(); ++m) {
+    JobId job = running_[m];
+    if (job != kInvalidJob && remaining_[job].is_zero()) {
+      finished_[job] = true;
+      running_[m] = kInvalidJob;
+      policy_.on_complete(*this, job);
+    }
+  }
+  // 2. Deadline misses (running or waiting).
+  for (JobId id = 0; id < instance_.size(); ++id) {
+    if (released_[id] && !finished_[id] && !missed_[id] &&
+        instance_.job(id).deadline <= now_) {
+      missed_[id] = true;
+      missed_list_.push_back(id);
+      for (auto& slot : running_)
+        if (slot == id) slot = kInvalidJob;
+      policy_.on_miss(*this, id);
+    }
+  }
+  // 3. Releases due now.
+  while (!pending_.empty() && pending_.top().time <= now_) {
+    JobId id = pending_.top().job;
+    pending_.pop();
+    released_[id] = true;
+    policy_.on_release(*this, id);
+  }
+  // 4. Let the policy (re)decide what runs.
+  policy_.dispatch(*this);
+}
+
+Rat Simulator::next_event_time(const Rat& horizon) {
+  Rat next = horizon;
+  if (!pending_.empty()) next = Rat::min(next, pending_.top().time);
+  for (std::size_t m = 0; m < running_.size(); ++m) {
+    JobId job = running_[m];
+    if (job != kInvalidJob)
+      next = Rat::min(next, now_ + remaining_[job] / speed_);
+  }
+  for (JobId id = 0; id < instance_.size(); ++id) {
+    if (released_[id] && !finished_[id] && !missed_[id])
+      next = Rat::min(next, instance_.job(id).deadline);
+  }
+  if (auto wakeup = policy_.next_wakeup(*this); wakeup && now_ < *wakeup)
+    next = Rat::min(next, *wakeup);
+  return Rat::max(next, now_);
+}
+
+void Simulator::advance_to(const Rat& t) {
+  const Rat span = t - now_;
+  for (std::size_t m = 0; m < running_.size(); ++m) {
+    JobId job = running_[m];
+    if (job == kInvalidJob) continue;
+    trace_.add_slot(m, now_, t, job);
+    if (!machine_touched_[m]) {
+      machine_touched_[m] = true;
+      ++machines_used_;
+    }
+    remaining_[job] -= span * speed_;
+    if (remaining_[job].is_negative())
+      throw std::logic_error("Simulator: job overshot its completion");
+  }
+  now_ = t;
+}
+
+void Simulator::run_until(const Rat& t) {
+  if (t < now_)
+    throw std::invalid_argument("Simulator: cannot run backwards");
+  while (true) {
+    deliver_events_at_now();
+    Rat next = next_event_time(t);
+    if (next == now_) {
+      if (now_ == t) break;
+      throw std::logic_error("Simulator: no progress");
+    }
+    advance_to(next);
+  }
+}
+
+void Simulator::run_to_completion() {
+  while (!all_done()) {
+    // Horizon: far enough to hit the next event; the max deadline bounds
+    // all remaining activity.
+    Rat horizon = now_ + Rat(1);
+    for (const auto& job : instance_.jobs())
+      horizon = Rat::max(horizon, job.deadline);
+    run_until(horizon);
+  }
+}
+
+SimRun simulate(OnlinePolicy& policy, const Instance& instance, Rat speed,
+                bool require_no_miss) {
+  Simulator sim(policy, std::move(speed));
+  sim.submit_all(instance);
+  sim.run_to_completion();
+  SimRun run;
+  run.schedule = sim.schedule();
+  run.machines_used = sim.machines_used();
+  run.missed = sim.any_missed();
+  if (run.missed && require_no_miss)
+    throw std::runtime_error("simulate: policy " + policy.name() +
+                             " missed a deadline");
+  return run;
+}
+
+Schedule Simulator::schedule() const {
+  Schedule copy = trace_;
+  copy.canonicalize();
+  return copy;
+}
+
+}  // namespace minmach

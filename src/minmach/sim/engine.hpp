@@ -1,0 +1,147 @@
+// Event-driven online scheduling simulator.
+//
+// Time advances only at events: job releases, completions, deadline
+// expiries, and policy-requested wake-ups (e.g. LLF laxity crossings,
+// MediumFit start times). All times are exact rationals, so adversary
+// constructions that rescale by tiny amounts stay exact.
+//
+// The policy is called back on releases/completions/misses and then asked to
+// dispatch: to state, for each machine it uses, which active job runs until
+// the next event. Machines are opened implicitly by using a new index; the
+// cost measure machines_used() counts machines that ever processed work.
+//
+// Adversaries (minmach/adversary) drive the simulator interactively: submit
+// a job, run_until(t), inspect remaining processing and the trace, decide
+// the next release. This realizes the paper's game between the adversary
+// and "any online algorithm".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+
+namespace minmach {
+
+class Simulator;
+
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+
+  // A job just became available (its release date is now).
+  virtual void on_release(Simulator& sim, JobId job) = 0;
+  // A job just received its full processing time.
+  virtual void on_complete(Simulator& sim, JobId job);
+  // A job's deadline passed with work left; it leaves the system. Policies
+  // are expected to avoid this by opening machines -- experiments treat a
+  // miss as a hard failure.
+  virtual void on_miss(Simulator& sim, JobId job);
+  // Set the running job of every machine in use via Simulator::set_running.
+  // Called after every batch of events at one time point.
+  virtual void dispatch(Simulator& sim) = 0;
+  // Earliest future time (> now) at which the policy wants a dispatch even
+  // without a job event. Return std::nullopt if none.
+  virtual std::optional<Rat> next_wakeup(const Simulator& sim);
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class Simulator {
+ public:
+  // speed: every machine processes `speed` units of work per unit of time
+  // (Theorem 7's speed augmentation). The policy object must outlive the
+  // simulator.
+  explicit Simulator(OnlinePolicy& policy, Rat speed = Rat(1));
+
+  // Queues a job; it is revealed to the policy at job.release, which must
+  // be >= now().
+  JobId submit(const Job& job);
+  void submit_all(const Instance& instance);
+
+  // Advances simulated time to t (>= now), delivering all events.
+  void run_until(const Rat& t);
+  // Advances until every submitted job is finished or missed.
+  void run_to_completion();
+
+  [[nodiscard]] const Rat& now() const { return now_; }
+  [[nodiscard]] const Rat& speed() const { return speed_; }
+  [[nodiscard]] const Instance& instance() const { return instance_; }
+  [[nodiscard]] const Job& job(JobId id) const { return instance_.job(id); }
+  [[nodiscard]] std::size_t job_count() const { return instance_.size(); }
+
+  // Work still owed to the job (in processing units, not wall time).
+  [[nodiscard]] const Rat& remaining(JobId id) const { return remaining_[id]; }
+  [[nodiscard]] bool released(JobId id) const { return released_[id]; }
+  [[nodiscard]] bool finished(JobId id) const { return finished_[id]; }
+  [[nodiscard]] bool missed(JobId id) const { return missed_[id]; }
+  [[nodiscard]] const std::vector<JobId>& missed_jobs() const {
+    return missed_list_;
+  }
+  [[nodiscard]] bool any_missed() const { return !missed_list_.empty(); }
+
+  // Released, unfinished, not missed.
+  [[nodiscard]] std::vector<JobId> active_jobs() const;
+  [[nodiscard]] bool all_done() const;
+
+  // --- dispatch-time interface for policies ---
+  // job == kInvalidJob idles the machine. The job must be active.
+  void set_running(std::size_t machine, JobId job);
+  [[nodiscard]] JobId running_on(std::size_t machine) const;
+  [[nodiscard]] std::size_t machine_slots() const { return running_.size(); }
+
+  // Canonicalized copy of the processing trace so far.
+  [[nodiscard]] Schedule schedule() const;
+  [[nodiscard]] std::size_t machines_used() const { return machines_used_; }
+
+  [[nodiscard]] OnlinePolicy& policy() { return policy_; }
+
+ private:
+  void deliver_events_at_now();
+  [[nodiscard]] Rat next_event_time(const Rat& horizon);
+  void advance_to(const Rat& t);
+
+  OnlinePolicy& policy_;
+  Rat speed_;
+  Rat now_ = Rat(0);
+
+  Instance instance_;
+  std::vector<Rat> remaining_;
+  std::vector<bool> released_;
+  std::vector<bool> finished_;
+  std::vector<bool> missed_;
+  std::vector<JobId> missed_list_;
+
+  struct PendingRelease {
+    Rat time;
+    JobId job;
+    bool operator>(const PendingRelease& other) const {
+      return time > other.time || (time == other.time && job > other.job);
+    }
+  };
+  std::priority_queue<PendingRelease, std::vector<PendingRelease>,
+                      std::greater<>>
+      pending_;
+
+  std::vector<JobId> running_;
+  Schedule trace_;
+  std::vector<bool> machine_touched_;
+  std::size_t machines_used_ = 0;
+};
+
+// Convenience driver: simulate the full instance against the policy and
+// return the resulting schedule (canonicalized). Throws std::runtime_error
+// if the policy misses a deadline and require_no_miss is true.
+struct SimRun {
+  Schedule schedule;
+  std::size_t machines_used = 0;
+  bool missed = false;
+};
+[[nodiscard]] SimRun simulate(OnlinePolicy& policy, const Instance& instance,
+                              Rat speed = Rat(1), bool require_no_miss = true);
+
+}  // namespace minmach

@@ -1,0 +1,418 @@
+#include "minmach/util/bigint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace minmach {
+
+namespace {
+
+constexpr std::uint64_t kLimbBase = 1ull << 32;
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  if (value == 0) return;
+  negative_ = value < 0;
+  // Avoid overflow on INT64_MIN by negating in unsigned space.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt: empty string");
+  bool negative = false;
+  std::size_t pos = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  if (pos == text.size()) throw std::invalid_argument("BigInt: sign only");
+  BigInt result;
+  const BigInt ten(10);
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("BigInt: non-digit character");
+    result *= ten;
+    result += BigInt(c - '0');
+  }
+  if (negative && !result.is_zero()) result.negative_ = true;
+  return result;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+BigInt BigInt::negated() const {
+  BigInt result = *this;
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+int BigInt::compare_magnitude(const BigInt& lhs, const BigInt& rhs) {
+  if (lhs.limbs_.size() != rhs.limbs_.size())
+    return lhs.limbs_.size() < rhs.limbs_.size() ? -1 : 1;
+  for (std::size_t i = lhs.limbs_.size(); i-- > 0;) {
+    if (lhs.limbs_[i] != rhs.limbs_[i])
+      return lhs.limbs_[i] < rhs.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) {
+  if (lhs.negative_ != rhs.negative_)
+    return lhs.negative_ ? std::strong_ordering::less
+                         : std::strong_ordering::greater;
+  int mag = BigInt::compare_magnitude(lhs, rhs);
+  if (lhs.negative_) mag = -mag;
+  if (mag < 0) return std::strong_ordering::less;
+  if (mag > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  const std::vector<Limb>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<Limb>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<Limb> out;
+  out.reserve(longer.size() + 1);
+  WideLimb carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    WideLimb sum = carry + longer[i];
+    if (i < shorter.size()) sum += shorter[i];
+    out.push_back(static_cast<Limb>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<Limb>(carry));
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  std::vector<Limb> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Limb>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    WideLimb carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      WideLimb cur = static_cast<WideLimb>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      WideLimb cur = out[k] + carry;
+      out[k] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+// Knuth TAOCP vol. 2 algorithm D, base 2^32.
+void BigInt::div_mod_magnitude(const std::vector<Limb>& dividend,
+                               const std::vector<Limb>& divisor,
+                               std::vector<Limb>& quotient,
+                               std::vector<Limb>& remainder) {
+  quotient.clear();
+  remainder.clear();
+  if (divisor.empty()) throw std::domain_error("BigInt: division by zero");
+
+  // Fast path: single-limb divisor.
+  if (divisor.size() == 1) {
+    WideLimb d = divisor[0];
+    quotient.assign(dividend.size(), 0);
+    WideLimb rem = 0;
+    for (std::size_t i = dividend.size(); i-- > 0;) {
+      WideLimb cur = (rem << 32) | dividend[i];
+      quotient[i] = static_cast<Limb>(cur / d);
+      rem = cur % d;
+    }
+    while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
+    if (rem != 0) remainder.push_back(static_cast<Limb>(rem));
+    return;
+  }
+
+  if (dividend.size() < divisor.size()) {
+    remainder = dividend;
+    return;
+  }
+
+  // D1: normalize so the top divisor limb has its high bit set.
+  int shift = 0;
+  {
+    Limb top = divisor.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  auto shift_left = [](const std::vector<Limb>& v, int s) {
+    std::vector<Limb> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= static_cast<Limb>((static_cast<WideLimb>(v[i]) << s) &
+                                  0xffffffffu);
+      if (s != 0)
+        out[i + 1] = static_cast<Limb>(static_cast<WideLimb>(v[i]) >>
+                                       (32 - s));
+    }
+    return out;
+  };
+  std::vector<Limb> u = shift_left(dividend, shift);  // size n+1 extra limb
+  std::vector<Limb> v = shift_left(divisor, shift);
+  while (!v.empty() && v.back() == 0) v.pop_back();
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n;  // quotient has at most m limbs
+
+  quotient.assign(m, 0);
+  const WideLimb vn1 = v[n - 1];
+  const WideLimb vn2 = v[n - 2];
+
+  for (std::size_t j = m; j-- > 0;) {
+    // D3: estimate q_hat from the top two dividend limbs, clamped to base-1
+    // per Knuth so all intermediates below fit in 64 bits.
+    WideLimb numerator =
+        (static_cast<WideLimb>(u[j + n]) << 32) | u[j + n - 1];
+    WideLimb q_hat = numerator / vn1;
+    WideLimb r_hat = numerator % vn1;
+    if (q_hat >= kLimbBase) {
+      q_hat = kLimbBase - 1;
+      r_hat = numerator - q_hat * vn1;
+    }
+    while (r_hat < kLimbBase &&
+           q_hat * vn2 > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += vn1;
+    }
+    // D4: multiply-subtract q_hat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    WideLimb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      WideLimb product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(product & 0xffffffffu) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(diff);
+    }
+    std::int64_t diff = static_cast<std::int64_t>(u[j + n]) -
+                        static_cast<std::int64_t>(carry) - borrow;
+    bool went_negative = diff < 0;
+    if (went_negative) diff += static_cast<std::int64_t>(kLimbBase);
+    u[j + n] = static_cast<Limb>(diff);
+
+    // D6: add back if the estimate was one too large.
+    if (went_negative) {
+      --q_hat;
+      WideLimb add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        WideLimb sum = static_cast<WideLimb>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<Limb>(sum & 0xffffffffu);
+        add_carry = sum >> 32;
+      }
+      u[j + n] = static_cast<Limb>(u[j + n] + add_carry);
+    }
+    quotient[j] = static_cast<Limb>(q_hat);
+  }
+
+  while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
+
+  // D8: de-normalize the remainder.
+  remainder.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift != 0) {
+    for (std::size_t i = 0; i < remainder.size(); ++i) {
+      remainder[i] >>= shift;
+      if (i + 1 < n)
+        remainder[i] |= static_cast<Limb>(
+            (static_cast<WideLimb>(remainder.size() > i + 1 ? u[i + 1] : 0)
+             << (32 - shift)) &
+            0xffffffffu);
+    }
+  }
+  while (!remainder.empty() && remainder.back() == 0) remainder.pop_back();
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    limbs_ = add_magnitude(limbs_, rhs.limbs_);
+  } else {
+    int cmp = compare_magnitude(*this, rhs);
+    if (cmp == 0) {
+      limbs_.clear();
+      negative_ = false;
+      return *this;
+    }
+    if (cmp > 0) {
+      limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+    } else {
+      limbs_ = sub_magnitude(rhs.limbs_, limbs_);
+      negative_ = rhs.negative_;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  bool negative = negative_ != rhs.negative_;
+  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
+  negative_ = !limbs_.empty() && negative;
+  return *this;
+}
+
+BigIntDivMod BigInt::div_mod(const BigInt& dividend, const BigInt& divisor) {
+  BigIntDivMod out;
+  div_mod_magnitude(dividend.limbs_, divisor.limbs_, out.quotient.limbs_,
+                    out.remainder.limbs_);
+  out.quotient.negative_ =
+      !out.quotient.limbs_.empty() && (dividend.negative_ != divisor.negative_);
+  out.remainder.negative_ =
+      !out.remainder.limbs_.empty() && dividend.negative_;
+  return out;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  *this = div_mod(*this, rhs).quotient;
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  *this = div_mod(*this, rhs).remainder;
+  return *this;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = div_mod(a, b).remainder;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt(0);
+  BigInt g = gcd(a, b);
+  return (a / g * b).abs();
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  Limb top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * kLimbBits;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::fits_int64() const {
+  if (limbs_.size() < 2) return true;
+  if (limbs_.size() > 2) return false;
+  std::uint64_t magnitude =
+      (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (negative_) return magnitude <= (1ull << 63);
+  return magnitude < (1ull << 63);
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (!fits_int64()) throw std::overflow_error("BigInt: does not fit int64");
+  std::uint64_t magnitude = 0;
+  if (!limbs_.empty()) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs_[1])
+                                       << 32;
+  if (negative_) return static_cast<std::int64_t>(~magnitude + 1);
+  return static_cast<std::int64_t>(magnitude);
+}
+
+double BigInt::to_double() const {
+  double result = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    result = result * static_cast<double>(kLimbBase) +
+             static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -result : result;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Peel 9 decimal digits at a time via single-limb division by 1e9.
+  std::vector<Limb> current = limbs_;
+  std::vector<std::uint32_t> chunks;
+  constexpr WideLimb kChunk = 1000000000ull;
+  while (!current.empty()) {
+    WideLimb rem = 0;
+    for (std::size_t i = current.size(); i-- > 0;) {
+      WideLimb cur = (rem << 32) | current[i];
+      current[i] = static_cast<Limb>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!current.empty() && current.back() == 0) current.pop_back();
+    chunks.push_back(static_cast<std::uint32_t>(rem));
+  }
+  std::string out;
+  if (negative_) out.push_back('-');
+  out += std::to_string(chunks.back());
+  for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(9 - part.size(), '0');
+    out += part;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.to_string();
+}
+
+}  // namespace minmach

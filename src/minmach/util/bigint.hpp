@@ -1,0 +1,112 @@
+// Arbitrary-precision signed integers.
+//
+// The library computes all time arithmetic exactly (see DESIGN.md §2): the
+// strong-lower-bound adversary rescales instances by quantities derived from
+// the opponent's own schedule, so denominators grow without bound and no
+// fixed-width integer type suffices. BigInt is sign-magnitude over 32-bit
+// limbs (little-endian) with 64-bit intermediates; division is Knuth
+// algorithm D.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minmach {
+
+struct BigIntDivMod;
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor) intentional: ints promote to BigInt
+  BigInt(int value) : BigInt(static_cast<std::int64_t>(value)) {}
+  BigInt(long long value) : BigInt(static_cast<std::int64_t>(value)) {}
+  BigInt(unsigned int value) : BigInt(static_cast<std::int64_t>(value)) {}
+
+  // Parses an optional leading '-' followed by decimal digits. Throws
+  // std::invalid_argument on malformed input.
+  static BigInt from_string(std::string_view text);
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  [[nodiscard]] int signum() const {
+    return is_zero() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  [[nodiscard]] BigInt abs() const;
+  [[nodiscard]] BigInt negated() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator/=(const BigInt& rhs);  // truncates toward zero
+  BigInt& operator%=(const BigInt& rhs);  // sign follows dividend
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+  BigInt operator-() const { return negated(); }
+
+  // Quotient truncated toward zero and remainder with the dividend's sign,
+  // computed in one pass. Throws std::domain_error on division by zero.
+  [[nodiscard]] static BigIntDivMod div_mod(const BigInt& dividend,
+                                            const BigInt& divisor);
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs) {
+    return lhs.negative_ == rhs.negative_ && lhs.limbs_ == rhs.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& lhs,
+                                          const BigInt& rhs);
+
+  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);  // non-negative result
+  [[nodiscard]] static BigInt lcm(const BigInt& a, const BigInt& b);
+
+  // Number of significant bits of |*this| (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+
+  [[nodiscard]] bool fits_int64() const;
+  // Throws std::overflow_error unless fits_int64().
+  [[nodiscard]] std::int64_t to_int64() const;
+  // Best-effort conversion; may lose precision or return +/-inf.
+  [[nodiscard]] double to_double() const;
+
+  [[nodiscard]] std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+ private:
+  using Limb = std::uint32_t;
+  using WideLimb = std::uint64_t;
+  static constexpr int kLimbBits = 32;
+
+  // |limbs_| little-endian, no trailing zero limbs; zero <=> limbs_.empty().
+  std::vector<Limb> limbs_;
+  bool negative_ = false;
+
+  void trim();
+  // Magnitude-only helpers; ignore signs of the operands.
+  static int compare_magnitude(const BigInt& lhs, const BigInt& rhs);
+  static std::vector<Limb> add_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  // Requires |a| >= |b|.
+  static std::vector<Limb> sub_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static std::vector<Limb> mul_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static void div_mod_magnitude(const std::vector<Limb>& dividend,
+                                const std::vector<Limb>& divisor,
+                                std::vector<Limb>& quotient,
+                                std::vector<Limb>& remainder);
+};
+
+struct BigIntDivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+}  // namespace minmach

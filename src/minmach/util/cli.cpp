@@ -1,0 +1,56 @@
+#include "minmach/util/cli.hpp"
+
+#include <stdexcept>
+
+namespace minmach {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("Cli: expected --key=value, got " + arg);
+    auto eq = arg.find('=');
+    std::string key =
+        eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+    std::string value = eq == std::string::npos ? "1" : arg.substr(eq + 1);
+    values_[key] = value;
+    seen_[key] = false;
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t default_value) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  seen_[key] = true;
+  return std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& key, double default_value) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  seen_[key] = true;
+  return std::stod(it->second);
+}
+
+std::string Cli::get_string(const std::string& key, std::string default_value) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  seen_[key] = true;
+  return it->second;
+}
+
+bool Cli::get_bool(const std::string& key, bool default_value) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  seen_[key] = true;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+void Cli::check_unknown() const {
+  for (const auto& [key, used] : seen_) {
+    if (!used)
+      throw std::invalid_argument("Cli: unknown flag --" + key);
+  }
+}
+
+}  // namespace minmach

@@ -1,0 +1,30 @@
+// Tiny --key=value flag parser for the bench/example binaries. Unknown flags
+// throw, so typos in experiment sweeps fail loudly rather than silently
+// running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace minmach {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  // Each getter registers the key as known; after all getters ran, call
+  // check_unknown() to reject unrecognized flags.
+  std::int64_t get_int(const std::string& key, std::int64_t default_value);
+  double get_double(const std::string& key, double default_value);
+  std::string get_string(const std::string& key, std::string default_value);
+  bool get_bool(const std::string& key, bool default_value);
+
+  void check_unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> seen_;
+};
+
+}  // namespace minmach

@@ -1,0 +1,96 @@
+#include "minmach/util/interval_set.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace minmach {
+
+Interval intersect(const Interval& a, const Interval& b) {
+  return {Rat::max(a.lo, b.lo), Rat::min(a.hi, b.hi)};
+}
+
+IntervalSet::IntervalSet(std::vector<Interval> ivs) {
+  pieces_ = std::move(ivs);
+  normalize();
+}
+
+void IntervalSet::normalize() {
+  std::erase_if(pieces_, [](const Interval& iv) { return iv.empty(); });
+  std::sort(pieces_.begin(), pieces_.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> merged;
+  for (auto& iv : pieces_) {
+    if (!merged.empty() && iv.lo <= merged.back().hi) {
+      merged.back().hi = Rat::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  pieces_ = std::move(merged);
+}
+
+void IntervalSet::add(const Interval& iv) {
+  if (iv.empty()) return;
+  pieces_.push_back(iv);
+  normalize();
+}
+
+void IntervalSet::add(const IntervalSet& other) {
+  pieces_.insert(pieces_.end(), other.pieces_.begin(), other.pieces_.end());
+  normalize();
+}
+
+Rat IntervalSet::length() const {
+  Rat total(0);
+  for (const auto& iv : pieces_) total += iv.length();
+  return total;
+}
+
+bool IntervalSet::contains(const Rat& t) const {
+  for (const auto& iv : pieces_) {
+    if (iv.contains(t)) return true;
+    if (t < iv.lo) break;
+  }
+  return false;
+}
+
+IntervalSet IntervalSet::intersect(const Interval& iv) const {
+  IntervalSet out;
+  for (const auto& piece : pieces_) {
+    Interval cut = minmach::intersect(piece, iv);
+    if (!cut.empty()) out.pieces_.push_back(cut);
+  }
+  return out;  // pieces stay sorted/disjoint; no normalize needed
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  for (const auto& piece : other.pieces_) out.add(intersect(piece));
+  return out;
+}
+
+const Rat& IntervalSet::min() const {
+  if (pieces_.empty()) throw std::logic_error("IntervalSet::min on empty set");
+  return pieces_.front().lo;
+}
+
+const Rat& IntervalSet::max() const {
+  if (pieces_.empty()) throw std::logic_error("IntervalSet::max on empty set");
+  return pieces_.back().hi;
+}
+
+std::string IntervalSet::to_string() const {
+  std::string out;
+  for (const auto& iv : pieces_) {
+    if (!out.empty()) out += " u ";
+    out += "[" + iv.lo.to_string() + "," + iv.hi.to_string() + ")";
+  }
+  return out.empty() ? "{}" : out;
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set) {
+  return os << set.to_string();
+}
+
+}  // namespace minmach

@@ -1,0 +1,64 @@
+// Finite unions of disjoint half-open intervals [a, b) with exact rational
+// endpoints. This is the `I` of Theorem 1's load characterization: the
+// contribution machinery and Lemma 3's expansion argument operate on these.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "minmach/util/rational.hpp"
+
+namespace minmach {
+
+struct Interval {
+  Rat lo;
+  Rat hi;
+
+  [[nodiscard]] bool empty() const { return hi <= lo; }
+  [[nodiscard]] Rat length() const { return empty() ? Rat(0) : hi - lo; }
+  [[nodiscard]] bool contains(const Rat& t) const { return lo <= t && t < hi; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+// Intersection of two intervals (possibly empty).
+[[nodiscard]] Interval intersect(const Interval& a, const Interval& b);
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(Interval iv) { add(iv); }
+  explicit IntervalSet(std::vector<Interval> ivs);
+
+  // Unions an interval into the set, merging overlapping/adjacent pieces.
+  void add(const Interval& iv);
+  void add(const IntervalSet& other);
+
+  [[nodiscard]] bool empty() const { return pieces_.empty(); }
+  [[nodiscard]] std::size_t piece_count() const { return pieces_.size(); }
+  [[nodiscard]] const std::vector<Interval>& pieces() const { return pieces_; }
+
+  // Total measure |I| = sum of piece lengths.
+  [[nodiscard]] Rat length() const;
+  [[nodiscard]] bool contains(const Rat& t) const;
+
+  [[nodiscard]] IntervalSet intersect(const Interval& iv) const;
+  [[nodiscard]] IntervalSet intersect(const IntervalSet& other) const;
+
+  // Leftmost point of the set; requires non-empty.
+  [[nodiscard]] const Rat& min() const;
+  [[nodiscard]] const Rat& max() const;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const IntervalSet& set);
+
+ private:
+  void normalize();
+
+  // Sorted, pairwise disjoint, non-adjacent, all non-empty.
+  std::vector<Interval> pieces_;
+};
+
+}  // namespace minmach

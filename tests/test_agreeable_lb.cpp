@@ -1,0 +1,83 @@
+#include "minmach/adversary/agreeable_lb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/algos/edf.hpp"
+#include "minmach/algos/llf.hpp"
+#include "minmach/flow/feasibility.hpp"
+
+namespace minmach {
+namespace {
+
+TEST(AgreeableLb, RejectsBadParameters) {
+  EdfPolicy policy(10);
+  AgreeableLbParams params;
+  params.m = 0;
+  EXPECT_THROW((void)run_agreeable_lower_bound(policy, params),
+               std::invalid_argument);
+  params.m = 10;
+  params.alpha = Rat(1, 3);  // 10/3 not integral
+  EXPECT_THROW((void)run_agreeable_lower_bound(policy, params),
+               std::invalid_argument);
+}
+
+TEST(AgreeableLb, InstanceIsAgreeableIdenticalAndFeasible) {
+  AgreeableLbParams params;
+  params.m = 8;
+  params.alpha = Rat(1, 4);
+  params.max_rounds = 3;
+  params.opponent_budget = 3 * params.m;
+  EdfPolicy policy(3 * params.m);  // generous budget: no miss, full record
+  AgreeableLbResult result = run_agreeable_lower_bound(policy, params);
+  EXPECT_FALSE(result.missed);
+  EXPECT_FALSE(result.threat_released);
+  EXPECT_TRUE(result.instance.is_agreeable());
+  for (const Job& j : result.instance.jobs())
+    EXPECT_EQ(j.processing, Rat(1));
+  // The adversary maintains feasibility on m machines (Lemma 9 (i)).
+  EXPECT_LE(optimal_migratory_machines(result.instance), params.m);
+  EXPECT_EQ(result.jobs,
+            static_cast<std::size_t>(3 * (params.m + params.m / 4)));
+}
+
+TEST(AgreeableLb, EdfAtBudgetMIsForced) {
+  AgreeableLbParams params;
+  params.m = 8;
+  params.alpha = Rat(1, 4);
+  params.max_rounds = 40;
+  params.opponent_budget = params.m;  // below the 1.101 m threshold
+  EdfPolicy policy(params.m);
+  AgreeableLbResult result = run_agreeable_lower_bound(policy, params);
+  EXPECT_TRUE(result.missed);
+  // The released instance stays agreeable and m-feasible even in the kill
+  // branch (the threat jobs are part of Lemma 9's feasible instance).
+  EXPECT_TRUE(result.instance.is_agreeable());
+  EXPECT_LE(optimal_migratory_machines(result.instance), params.m);
+}
+
+TEST(AgreeableLb, LlfAtBudgetMIsForced) {
+  AgreeableLbParams params;
+  params.m = 8;
+  params.alpha = Rat(1, 4);
+  params.max_rounds = 40;
+  params.opponent_budget = params.m;
+  LlfPolicy policy(params.m, /*quantum=*/Rat(1, 8));
+  AgreeableLbResult result = run_agreeable_lower_bound(policy, params);
+  EXPECT_TRUE(result.missed);  // Theorem 15 applies to ANY online algorithm
+  EXPECT_LE(optimal_migratory_machines(result.instance), params.m);
+}
+
+TEST(AgreeableLb, GenerousBudgetSurvives) {
+  AgreeableLbParams params;
+  params.m = 8;
+  params.alpha = Rat(1, 4);
+  params.max_rounds = 20;
+  params.opponent_budget = 2 * params.m;  // far above the threshold
+  EdfPolicy policy(2 * params.m);
+  AgreeableLbResult result = run_agreeable_lower_bound(policy, params);
+  EXPECT_FALSE(result.missed);
+  EXPECT_EQ(result.rounds_survived, params.max_rounds);
+}
+
+}  // namespace
+}  // namespace minmach

@@ -1,0 +1,275 @@
+#include "minmach/util/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.signum(), 0);
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero.to_int64(), 0);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{42}, std::int64_t{-123456789012345},
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    BigInt b(v);
+    EXPECT_TRUE(b.fits_int64()) << v;
+    EXPECT_EQ(b.to_int64(), v);
+    EXPECT_EQ(b.to_string(), std::to_string(v));
+  }
+}
+
+TEST(BigInt, FromStringRoundTrip) {
+  const char* cases[] = {"0",
+                         "7",
+                         "-7",
+                         "4294967295",
+                         "4294967296",
+                         "-18446744073709551616",
+                         "340282366920938463463374607431768211456",
+                         "-999999999999999999999999999999999999999"};
+  for (const char* text : cases) {
+    EXPECT_EQ(BigInt::from_string(text).to_string(), text);
+  }
+}
+
+TEST(BigInt, FromStringRejectsGarbage) {
+  EXPECT_THROW(BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("12a3"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string(" 12"), std::invalid_argument);
+}
+
+TEST(BigInt, OverflowGuards) {
+  BigInt big = BigInt::from_string("340282366920938463463374607431768211456");
+  EXPECT_FALSE(big.fits_int64());
+  EXPECT_THROW((void)big.to_int64(), std::overflow_error);
+  // INT64_MIN magnitude fits exactly; one more does not.
+  BigInt min64(std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(min64.fits_int64());
+  EXPECT_FALSE((min64 - BigInt(1)).fits_int64());
+  EXPECT_TRUE((min64.negated() - BigInt(1)).fits_int64());
+  EXPECT_FALSE(min64.negated().fits_int64());
+}
+
+TEST(BigInt, SmallArithmetic) {
+  EXPECT_EQ((BigInt(2) + BigInt(3)).to_int64(), 5);
+  EXPECT_EQ((BigInt(2) - BigInt(3)).to_int64(), -1);
+  EXPECT_EQ((BigInt(-2) * BigInt(3)).to_int64(), -6);
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);  // truncation
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_int64(), -1);  // sign of dividend
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).to_int64(), 1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(BigInt(1) / BigInt(0)), std::domain_error);
+  EXPECT_THROW((void)(BigInt(1) % BigInt(0)), std::domain_error);
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt::from_string("18446744073709551616"), BigInt(1) + BigInt(2));
+  EXPECT_EQ(BigInt(0), BigInt(7) - BigInt(7));
+  EXPECT_LT(BigInt::from_string("-18446744073709551616"), BigInt(-1));
+}
+
+TEST(BigInt, GcdLcm) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)).to_int64(), 0);
+  EXPECT_EQ(BigInt::lcm(BigInt(4), BigInt(6)).to_int64(), 12);
+  EXPECT_EQ(BigInt::lcm(BigInt(0), BigInt(6)).to_int64(), 0);
+  // gcd of huge coprimes.
+  BigInt a = BigInt::from_string("170141183460469231731687303715884105727");
+  EXPECT_EQ(BigInt::gcd(a, a * BigInt(3) + BigInt(1)), BigInt(1));
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ(BigInt::from_string("18446744073709551616").bit_length(), 65u);
+}
+
+TEST(BigInt, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(12345).to_double(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt(-12345).to_double(), -12345.0);
+  EXPECT_NEAR(BigInt::from_string("10000000000000000000").to_double(), 1e19,
+              1e6);
+}
+
+// ----- randomized oracle tests against __int128 -----
+
+using I128 = __int128;
+
+I128 to_i128(const BigInt& b) {
+  // Only valid for values that fit; tests keep operands within range.
+  bool negative = b.is_negative();
+  BigInt mag = b.abs();
+  I128 out = 0;
+  BigInt base = BigInt::from_string("18446744073709551616");  // 2^64
+  auto dm = BigInt::div_mod(mag, base);
+  out = static_cast<I128>(
+      static_cast<unsigned long long>(dm.quotient.to_int64()));
+  out <<= 64;
+  BigInt rem = dm.remainder;
+  // remainder < 2^64 may not fit signed int64; split again
+  auto dm2 = BigInt::div_mod(rem, BigInt(1) + BigInt(0xffffffff));
+  (void)dm2;
+  // simpler: peel 32-bit chunks
+  I128 lo = 0;
+  I128 mul = 1;
+  BigInt cur = rem;
+  BigInt b32(0x100000000ll);
+  while (!cur.is_zero()) {
+    auto d = BigInt::div_mod(cur, b32);
+    lo += mul * static_cast<I128>(d.remainder.to_int64());
+    mul <<= 32;
+    cur = d.quotient;
+  }
+  out += lo;
+  return negative ? -out : out;
+}
+
+[[maybe_unused]] BigInt from_i128(I128 v) {
+  bool negative = v < 0;
+  unsigned __int128 mag =
+      negative ? static_cast<unsigned __int128>(-(v + 1)) + 1
+               : static_cast<unsigned __int128>(v);
+  BigInt out(0);
+  BigInt mul(1);
+  BigInt b32(0x100000000ll);
+  while (mag != 0) {
+    out += mul * BigInt(static_cast<std::int64_t>(mag & 0xffffffffu));
+    mul *= b32;
+    mag >>= 32;
+  }
+  return negative ? out.negated() : out;
+}
+
+class BigIntRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntRandom, ArithmeticMatchesInt128Oracle) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 2000; ++iter) {
+    // 62-bit operands: products fit comfortably in __int128.
+    std::int64_t xa = rng.uniform_int(-(1ll << 62), 1ll << 62);
+    std::int64_t xb = rng.uniform_int(-(1ll << 62), 1ll << 62);
+    BigInt a(xa);
+    BigInt b(xb);
+    EXPECT_EQ(to_i128(a + b), static_cast<I128>(xa) + xb);
+    EXPECT_EQ(to_i128(a - b), static_cast<I128>(xa) - xb);
+    EXPECT_EQ(to_i128(a * b), static_cast<I128>(xa) * xb);
+    if (xb != 0) {
+      EXPECT_EQ(to_i128(a / b), static_cast<I128>(xa) / xb);
+      EXPECT_EQ(to_i128(a % b), static_cast<I128>(xa) % xb);
+    }
+    EXPECT_EQ(a < b, xa < xb);
+    EXPECT_EQ(a == b, xa == xb);
+  }
+}
+
+TEST_P(BigIntRandom, MultiLimbDivisionIdentity) {
+  Rng rng(GetParam() * 7919 + 13);
+  for (int iter = 0; iter < 1500; ++iter) {
+    // Build random magnitudes up to ~12 limbs, biased toward 0xffffffff
+    // limbs to stress the Knuth-D estimate corrections.
+    auto random_big = [&](int max_limbs) {
+      BigInt out(0);
+      BigInt mul(1);
+      BigInt b32(0x100000000ll);
+      int limbs = static_cast<int>(rng.uniform_int(1, max_limbs));
+      for (int i = 0; i < limbs; ++i) {
+        std::int64_t limb = rng.bernoulli(0.25)
+                                ? 0xffffffffll
+                                : rng.uniform_int(0, 0xffffffffll);
+        out += mul * BigInt(limb);
+        mul *= b32;
+      }
+      return rng.bernoulli(0.5) ? out.negated() : out;
+    };
+    BigInt a = random_big(12);
+    BigInt b = random_big(6);
+    if (b.is_zero()) continue;
+    auto dm = BigInt::div_mod(a, b);
+    // a == q*b + r
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a)
+        << "a=" << a << " b=" << b << " q=" << dm.quotient
+        << " r=" << dm.remainder;
+    // |r| < |b|
+    EXPECT_LT(dm.remainder.abs(), b.abs());
+    // sign conventions
+    if (!dm.remainder.is_zero()) {
+      EXPECT_EQ(dm.remainder.signum(), a.signum());
+    }
+  }
+}
+
+TEST_P(BigIntRandom, StringRoundTripRandom) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  BigInt b32(0x100000000ll);
+  for (int iter = 0; iter < 300; ++iter) {
+    BigInt value(0);
+    int limbs = static_cast<int>(rng.uniform_int(1, 20));
+    for (int i = 0; i < limbs; ++i)
+      value = value * b32 + BigInt(rng.uniform_int(0, 0xffffffffll));
+    if (rng.bernoulli(0.5)) value = value.negated();
+    EXPECT_EQ(BigInt::from_string(value.to_string()), value);
+  }
+}
+
+TEST_P(BigIntRandom, Int128ConversionRoundTrip) {
+  Rng rng(GetParam() + 555);
+  for (int iter = 0; iter < 500; ++iter) {
+    I128 hi = static_cast<I128>(rng.uniform_int(-(1ll << 60), 1ll << 60));
+    I128 value = (hi << 32) + rng.uniform_int(0, 0xffffffffll);
+    EXPECT_EQ(to_i128(from_i128(value)), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// Directed Knuth-D corner: dividend top limbs equal to divisor top limb
+// forces the q_hat = base-1 clamp path.
+TEST(BigInt, KnuthDClampPath) {
+  BigInt base32(0x100000000ll);
+  // divisor = [0, X] (i.e. X * 2^32), dividend = [r, X, X] so that the
+  // leading estimate overflows one limb.
+  BigInt x(0xfffffffell);
+  BigInt divisor = x * base32;
+  BigInt dividend = ((x * base32 + x) * base32) + BigInt(12345);
+  auto dm = BigInt::div_mod(dividend, divisor);
+  EXPECT_EQ(dm.quotient * divisor + dm.remainder, dividend);
+  EXPECT_LT(dm.remainder.abs(), divisor.abs());
+}
+
+TEST(BigInt, AddBackPath) {
+  // Classic add-back trigger from Hacker's Delight: u = [0,0,0x80000000],
+  // v = [1,0x80000000] in base 2^32.
+  BigInt base32(0x100000000ll);
+  BigInt u = BigInt(0x80000000ll) * base32 * base32;
+  BigInt v = BigInt(0x80000000ll) * base32 + BigInt(1);
+  auto dm = BigInt::div_mod(u, v);
+  EXPECT_EQ(dm.quotient * v + dm.remainder, u);
+  EXPECT_LT(dm.remainder.abs(), v.abs());
+}
+
+}  // namespace
+}  // namespace minmach

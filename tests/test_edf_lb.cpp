@@ -1,0 +1,58 @@
+#include "minmach/adversary/edf_lb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/algos/edf.hpp"
+#include "minmach/algos/llf.hpp"
+#include "minmach/flow/feasibility.hpp"
+
+namespace minmach {
+namespace {
+
+TEST(DhallFamily, StructureAndOpt) {
+  Instance in = gen_dhall(8);
+  EXPECT_EQ(in.size(), 9u);  // 1 heavy + 8 lights
+  EXPECT_TRUE(in.well_formed());
+  EXPECT_EQ(in.processing_time_ratio(), Rat(8));
+  // OPT = 2 for every Delta: heavy alone, lights chained on one machine.
+  EXPECT_EQ(optimal_migratory_machines(in), 2);
+  EXPECT_EQ(optimal_migratory_machines(gen_dhall(32)), 2);
+  EXPECT_THROW((void)gen_dhall(1), std::invalid_argument);
+  EXPECT_THROW((void)gen_dhall(4, 0), std::invalid_argument);
+}
+
+TEST(DhallFamily, RepeatsKeepOptTwo) {
+  Instance in = gen_dhall(8, 5);
+  EXPECT_EQ(in.size(), 45u);
+  EXPECT_EQ(optimal_migratory_machines(in), 2);
+}
+
+TEST(MinFeasibleBudget, EdfNeedsDeltaLlfNeedsOpt) {
+  const std::int64_t delta = 8;
+  Instance in = gen_dhall(delta);
+  auto edf_factory = [](std::size_t budget) {
+    return std::make_unique<EdfPolicy>(budget);
+  };
+  auto llf_factory = [](std::size_t budget) {
+    return std::make_unique<LlfPolicy>(budget, Rat(1, 64));
+  };
+  auto edf_budget = min_feasible_budget(edf_factory, in, 1, 32);
+  auto llf_budget = min_feasible_budget(llf_factory, in, 1, 32);
+  ASSERT_TRUE(edf_budget.has_value());
+  ASSERT_TRUE(llf_budget.has_value());
+  // EDF must essentially dedicate a machine per light; LLF matches OPT-ish.
+  EXPECT_GE(*edf_budget, static_cast<std::size_t>(delta / 2));
+  EXPECT_LE(*llf_budget, 4u);
+  EXPECT_GT(*edf_budget, *llf_budget);
+}
+
+TEST(MinFeasibleBudget, ReturnsNulloptWhenNothingWorks) {
+  Instance in = gen_dhall(16);
+  auto edf_factory = [](std::size_t budget) {
+    return std::make_unique<EdfPolicy>(budget);
+  };
+  EXPECT_EQ(min_feasible_budget(edf_factory, in, 1, 2), std::nullopt);
+}
+
+}  // namespace
+}  // namespace minmach

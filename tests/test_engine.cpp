@@ -1,0 +1,171 @@
+#include "minmach/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/core/validate.hpp"
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+// Runs every active job on its own machine (machine index == job id).
+class OnePerMachinePolicy : public OnlinePolicy {
+ public:
+  void on_release(Simulator&, JobId) override {}
+  void dispatch(Simulator& sim) override {
+    for (JobId id = 0; id < sim.job_count(); ++id) {
+      if (sim.released(id) && !sim.finished(id) && !sim.missed(id))
+        sim.set_running(id, id);
+      else if (id < sim.machine_slots() && sim.running_on(id) == id)
+        sim.set_running(id, kInvalidJob);
+    }
+  }
+  [[nodiscard]] std::string name() const override { return "OnePerMachine"; }
+};
+
+// Never runs anything (to test deadline misses).
+class IdlePolicy : public OnlinePolicy {
+ public:
+  void on_release(Simulator&, JobId) override {}
+  void dispatch(Simulator&) override {}
+  [[nodiscard]] std::string name() const override { return "Idle"; }
+};
+
+TEST(Simulator, RunsJobsToCompletion) {
+  OnePerMachinePolicy policy;
+  Simulator sim(policy);
+  sim.submit(mk(0, 4, 2));
+  sim.submit(mk(1, 5, 3));
+  sim.run_to_completion();
+  EXPECT_TRUE(sim.all_done());
+  EXPECT_FALSE(sim.any_missed());
+  EXPECT_EQ(sim.machines_used(), 2u);
+  Schedule s = sim.schedule();
+  auto result = validate(sim.instance(), s);
+  EXPECT_TRUE(result.ok) << result.summary();
+  // Jobs ran greedily from release.
+  EXPECT_EQ(s.slots(0)[0].start, Rat(0));
+  EXPECT_EQ(s.slots(0)[0].end, Rat(2));
+  EXPECT_EQ(s.slots(1)[0].start, Rat(1));
+  EXPECT_EQ(s.slots(1)[0].end, Rat(4));
+}
+
+TEST(Simulator, DetectsDeadlineMiss) {
+  IdlePolicy policy;
+  Simulator sim(policy);
+  JobId id = sim.submit(mk(0, 2, 1));
+  sim.run_until(Rat(5));
+  EXPECT_TRUE(sim.missed(id));
+  EXPECT_TRUE(sim.any_missed());
+  EXPECT_EQ(sim.missed_jobs().size(), 1u);
+  EXPECT_TRUE(sim.all_done());  // missed jobs leave the system
+}
+
+TEST(Simulator, ExactCompletionAtDeadlineIsNotAMiss) {
+  OnePerMachinePolicy policy;
+  Simulator sim(policy);
+  JobId id = sim.submit(mk(0, 2, 2));  // zero laxity
+  sim.run_to_completion();
+  EXPECT_TRUE(sim.finished(id));
+  EXPECT_FALSE(sim.any_missed());
+}
+
+TEST(Simulator, FutureReleaseAndInterleavedSubmission) {
+  OnePerMachinePolicy policy;
+  Simulator sim(policy);
+  sim.submit(mk(0, 10, 1));
+  sim.run_until(Rat(3));
+  // Adversary-style: submit mid-run with a future release.
+  JobId late = sim.submit(mk(5, 8, 2));
+  EXPECT_THROW((void)sim.submit(mk(1, 8, 2)), std::invalid_argument);
+  sim.run_until(Rat(4));
+  EXPECT_FALSE(sim.released(late));
+  sim.run_until(Rat(5));
+  EXPECT_TRUE(sim.released(late));
+  sim.run_to_completion();
+  EXPECT_TRUE(sim.finished(late));
+}
+
+TEST(Simulator, RemainingTracksProcessing) {
+  OnePerMachinePolicy policy;
+  Simulator sim(policy);
+  JobId id = sim.submit(mk(0, 10, 4));
+  sim.run_until(Rat(3, 2));
+  EXPECT_EQ(sim.remaining(id), Rat(5, 2));
+}
+
+TEST(Simulator, SpeedScalesProcessing) {
+  OnePerMachinePolicy policy;
+  Simulator sim(policy, Rat(2));
+  JobId id = sim.submit(mk(0, 3, 4));
+  sim.run_until(Rat(1));
+  EXPECT_EQ(sim.remaining(id), Rat(2));
+  sim.run_to_completion();
+  EXPECT_TRUE(sim.finished(id));
+  ValidateOptions options;
+  options.speed = Rat(2);
+  EXPECT_TRUE(validate(sim.instance(), sim.schedule(), options).ok);
+}
+
+TEST(Simulator, RejectsBadUsage) {
+  OnePerMachinePolicy policy;
+  Simulator sim(policy);
+  EXPECT_THROW((void)sim.submit(mk(0, 1, 2)), std::invalid_argument);  // malformed
+  sim.submit(mk(0, 4, 2));
+  sim.run_until(Rat(1));
+  EXPECT_THROW(sim.run_until(Rat(0)), std::invalid_argument);  // backwards
+}
+
+TEST(Simulator, RejectsDispatchOfInactiveJobs) {
+  class BadPolicy : public OnlinePolicy {
+   public:
+    void on_release(Simulator&, JobId) override {}
+    void dispatch(Simulator& sim) override {
+      if (sim.job_count() > 1) sim.set_running(0, 1);  // job 1 not released
+    }
+    [[nodiscard]] std::string name() const override { return "Bad"; }
+  };
+  BadPolicy policy;
+  Simulator sim(policy);
+  sim.submit(mk(0, 4, 1));
+  sim.submit(mk(2, 4, 1));
+  EXPECT_THROW(sim.run_until(Rat(1)), std::logic_error);
+}
+
+TEST(Simulator, RejectsJobOnTwoMachines) {
+  class DoublePolicy : public OnlinePolicy {
+   public:
+    void on_release(Simulator&, JobId) override {}
+    void dispatch(Simulator& sim) override {
+      if (sim.job_count() > 0 && sim.released(0) && !sim.finished(0)) {
+        sim.set_running(0, 0);
+        sim.set_running(1, 0);
+      }
+    }
+    [[nodiscard]] std::string name() const override { return "Double"; }
+  };
+  DoublePolicy policy;
+  Simulator sim(policy);
+  sim.submit(mk(0, 4, 1));
+  EXPECT_THROW(sim.run_until(Rat(1)), std::logic_error);
+}
+
+TEST(Simulator, SimulateHelper) {
+  OnePerMachinePolicy policy;
+  Instance in({mk(0, 4, 2), mk(0, 4, 2)});
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  EXPECT_EQ(run.machines_used, 2u);
+  EXPECT_TRUE(validate(in, run.schedule).ok);
+
+  IdlePolicy idle;
+  EXPECT_THROW((void)simulate(idle, in), std::runtime_error);
+  SimRun tolerant = simulate(idle, in, Rat(1), /*require_no_miss=*/false);
+  EXPECT_TRUE(tolerant.missed);
+}
+
+}  // namespace
+}  // namespace minmach

@@ -1,0 +1,165 @@
+#include "minmach/flow/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/core/contribution.hpp"
+#include "minmach/core/transforms.hpp"
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/dinic.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+TEST(Dinic, KnownSmallGraph) {
+  // Classic 4-node diamond: max flow 2 with integer capacities.
+  Dinic<long long> g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 2, 1);
+  g.add_edge(1, 3, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(1, 2, 1);
+  EXPECT_EQ(g.max_flow(0, 3), 2);
+}
+
+TEST(Dinic, RationalCapacities) {
+  Dinic<Rat> g(4);
+  auto e1 = g.add_edge(0, 1, Rat(1, 2));
+  g.add_edge(0, 2, Rat(1, 3));
+  g.add_edge(1, 3, Rat(2));
+  g.add_edge(2, 3, Rat(1, 6));
+  EXPECT_EQ(g.max_flow(0, 3), Rat(1, 2) + Rat(1, 6));
+  EXPECT_EQ(g.flow_on(e1), Rat(1, 2));
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  Dinic<Rat> g(3);
+  g.add_edge(0, 1, Rat(5));
+  EXPECT_EQ(g.max_flow(0, 2), Rat(0));
+}
+
+TEST(Dinic, RejectsBadNodes) {
+  Dinic<Rat> g(2);
+  EXPECT_THROW(g.add_edge(0, 5, Rat(1)), std::out_of_range);
+  EXPECT_THROW((void)g.max_flow(1, 1), std::invalid_argument);
+}
+
+TEST(Feasibility, SingleMachineExamples) {
+  // Two sequential unit jobs on one machine.
+  EXPECT_TRUE(feasible_migratory(Instance({mk(0, 1, 1), mk(1, 2, 1)}), 1));
+  // Two parallel zero-laxity jobs need two machines.
+  Instance parallel({mk(0, 1, 1), mk(0, 1, 1)});
+  EXPECT_FALSE(feasible_migratory(parallel, 1));
+  EXPECT_TRUE(feasible_migratory(parallel, 2));
+  EXPECT_EQ(optimal_migratory_machines(parallel), 2);
+}
+
+TEST(Feasibility, MigrationIsRequiredSometimes) {
+  // McNaughton-style: 3 jobs of p=2 in windows [0,3): load = 6/3 = 2
+  // machines suffice only with migration.
+  Instance in({mk(0, 3, 2), mk(0, 3, 2), mk(0, 3, 2)});
+  EXPECT_TRUE(feasible_migratory(in, 2));
+  EXPECT_FALSE(feasible_migratory(in, 1));
+  Schedule s = optimal_migratory_schedule(in, 2);
+  auto result = validate(in, s);
+  EXPECT_TRUE(result.ok) << result.summary();
+  // Some job must migrate in a 2-machine schedule of this instance.
+  EXPECT_GE(s.migration_count(), 1u);
+}
+
+TEST(Feasibility, EdgeCases) {
+  EXPECT_TRUE(feasible_migratory(Instance(), 0));
+  EXPECT_EQ(optimal_migratory_machines(Instance()), 0);
+  EXPECT_FALSE(feasible_migratory(Instance({mk(0, 1, 1)}), 0));
+  // Malformed job: infeasible at any machine count.
+  EXPECT_FALSE(feasible_migratory(Instance({mk(0, 1, 2)}), 5));
+}
+
+TEST(Feasibility, FractionalTimes) {
+  Instance in({{Rat(0), Rat(1, 2), Rat(1, 2)},
+               {Rat(1, 4), Rat(3, 4), Rat(1, 4)},
+               {Rat(0), Rat(3, 4), Rat(1, 4)}});
+  std::int64_t opt = optimal_migratory_machines(in);
+  EXPECT_EQ(opt, 2);
+  Schedule s = optimal_migratory_schedule(in, opt);
+  EXPECT_TRUE(validate(in, s).ok);
+}
+
+TEST(Feasibility, ScheduleThrowsWhenInfeasible) {
+  Instance parallel({mk(0, 1, 1), mk(0, 1, 1)});
+  EXPECT_THROW((void)optimal_migratory_schedule(parallel, 1),
+               std::invalid_argument);
+}
+
+// ---- Theorem 1 cross-check: flow OPT == exhaustive load bound ----
+
+class Theorem1 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1, FlowOptEqualsLoadCharacterization) {
+  Rng rng(GetParam());
+  GenConfig config;
+  config.n = 6;  // <= 11 elementary segments -> exhaustive is exact
+  config.horizon = 12;
+  config.max_window = 8;
+  config.denominator = 2;
+  for (int iter = 0; iter < 12; ++iter) {
+    Instance in = gen_general(rng, config);
+    std::int64_t opt = optimal_migratory_machines(in);
+    auto bound = load_bound_exhaustive(in, 20);
+    ASSERT_TRUE(bound.has_value());
+    // Theorem 1: the maximum load over interval unions IS the optimum.
+    EXPECT_EQ(bound->machines, opt) << in.to_string();
+    // And the single-interval bound is a valid lower bound.
+    EXPECT_LE(load_bound_single_interval(in).machines, opt);
+  }
+}
+
+TEST_P(Theorem1, OptimalScheduleValidatesOnRandomInstances) {
+  Rng rng(GetParam() * 31 + 5);
+  GenConfig config;
+  config.n = 25;
+  for (int iter = 0; iter < 5; ++iter) {
+    Instance in = gen_general(rng, config);
+    std::int64_t opt = optimal_migratory_machines(in);
+    ASSERT_GE(opt, 1);
+    EXPECT_FALSE(feasible_migratory(in, opt - 1));
+    Schedule s = optimal_migratory_schedule(in, opt);
+    auto result = validate(in, s);
+    EXPECT_TRUE(result.ok) << result.summary();
+    EXPECT_LE(s.used_machine_count(), static_cast<std::size_t>(opt));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// The integer-grid fast path and the exact rational network must agree.
+// Instances with huge prime denominators force the rational fallback; the
+// same instances scaled to integers take the fast path.
+TEST(Feasibility, FastPathMatchesRationalFallback) {
+  Rng rng(77);
+  GenConfig config;
+  config.n = 20;
+  for (int iter = 0; iter < 8; ++iter) {
+    Instance fast = gen_general(rng, config);
+    // Divide every time by a 45-bit prime: the values are unchanged up to
+    // uniform scaling (so OPT is identical), but denominator_lcm() exceeds
+    // the fast path's 40-bit guard and the Rat network runs instead.
+    const Rat scale(1, 35184372088891ll);  // 45-bit prime
+    Instance slow = affine(fast, Rat(0), scale);
+    for (std::int64_t m = 1; m <= 4; ++m) {
+      EXPECT_EQ(feasible_migratory(fast, m), feasible_migratory(slow, m))
+          << "m=" << m << "\n" << fast.to_string();
+    }
+    EXPECT_EQ(optimal_migratory_machines(fast),
+              optimal_migratory_machines(slow));
+  }
+}
+
+}  // namespace
+}  // namespace minmach

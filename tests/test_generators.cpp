@@ -1,0 +1,87 @@
+#include "minmach/gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minmach {
+namespace {
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorProperty, GeneralIsWellFormedAndDeterministic) {
+  GenConfig config;
+  config.n = 40;
+  Rng a(GetParam());
+  Rng b(GetParam());
+  Instance x = gen_general(a, config);
+  Instance y = gen_general(b, config);
+  EXPECT_EQ(x.size(), config.n);
+  EXPECT_TRUE(x.well_formed());
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(x.job(static_cast<JobId>(i)), y.job(static_cast<JobId>(i)));
+}
+
+TEST_P(GeneratorProperty, AgreeableIsAgreeable) {
+  GenConfig config;
+  config.n = 40;
+  Rng rng(GetParam());
+  Instance in = gen_agreeable(rng, config);
+  EXPECT_TRUE(in.well_formed());
+  EXPECT_TRUE(in.is_agreeable());
+}
+
+TEST_P(GeneratorProperty, LaminarIsLaminar) {
+  GenConfig config;
+  config.n = 50;
+  Rng rng(GetParam());
+  Instance in = gen_laminar(rng, config);
+  EXPECT_TRUE(in.well_formed());
+  EXPECT_TRUE(in.is_laminar());
+  EXPECT_GE(in.size(), 10u);
+}
+
+TEST_P(GeneratorProperty, LoosenessRespected) {
+  GenConfig config;
+  config.n = 40;
+  const Rat alpha(1, 3);
+  Rng rng(GetParam());
+  Instance loose = gen_loose(rng, config, alpha);
+  EXPECT_TRUE(loose.well_formed());
+  EXPECT_TRUE(loose.all_loose(alpha));
+
+  Instance tight = gen_tight(rng, config, alpha);
+  EXPECT_TRUE(tight.well_formed());
+  for (const Job& j : tight.jobs()) EXPECT_FALSE(j.is_loose(alpha));
+}
+
+TEST_P(GeneratorProperty, CombinedFamilies) {
+  GenConfig config;
+  config.n = 40;
+  const Rat alpha(1, 2);
+  Rng rng(GetParam());
+  Instance at = gen_agreeable_tight(rng, config, alpha);
+  EXPECT_TRUE(at.is_agreeable());
+  EXPECT_TRUE(at.well_formed());
+  for (const Job& j : at.jobs()) EXPECT_FALSE(j.is_loose(alpha));
+
+  Instance lt = gen_laminar_tight(rng, config, alpha);
+  EXPECT_TRUE(lt.is_laminar());
+  EXPECT_TRUE(lt.well_formed());
+  for (const Job& j : lt.jobs()) EXPECT_FALSE(j.is_loose(alpha));
+}
+
+TEST_P(GeneratorProperty, UnitJobs) {
+  GenConfig config;
+  config.n = 30;
+  Rng rng(GetParam());
+  Instance in = gen_unit(rng, config);
+  EXPECT_TRUE(in.well_formed());
+  for (const Job& j : in.jobs()) EXPECT_EQ(j.processing, Rat(1));
+  EXPECT_EQ(in.processing_time_ratio(), Rat(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Values(1u, 17u, 99u));
+
+}  // namespace
+}  // namespace minmach

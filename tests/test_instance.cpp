@@ -1,0 +1,95 @@
+#include "minmach/core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+TEST(Job, DerivedQuantities) {
+  Job j{Rat(2), Rat(10), Rat(3)};
+  EXPECT_EQ(j.window_length(), Rat(8));
+  EXPECT_EQ(j.laxity(), Rat(5));
+  EXPECT_EQ(j.latest_start(), Rat(7));
+  EXPECT_EQ(j.earliest_finish(), Rat(5));
+  EXPECT_TRUE(j.well_formed());
+  EXPECT_TRUE(j.is_loose(Rat(1, 2)));   // 3 <= 4
+  EXPECT_FALSE(j.is_loose(Rat(1, 4)));  // 3 > 2
+}
+
+TEST(Job, WellFormedEdges) {
+  EXPECT_FALSE((Job{Rat(0), Rat(1), Rat(0)}).well_formed());   // p = 0
+  EXPECT_FALSE((Job{Rat(0), Rat(1), Rat(2)}).well_formed());   // p > window
+  EXPECT_TRUE((Job{Rat(0), Rat(1), Rat(1)}).well_formed());    // zero laxity
+  EXPECT_FALSE((Job{Rat(1), Rat(1), Rat(1)}).well_formed());   // empty window
+}
+
+TEST(Instance, EventPointsSortedUnique) {
+  Instance in({mk(0, 4, 1), mk(2, 4, 1), mk(0, 6, 2)});
+  auto points = in.event_points();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0], Rat(0));
+  EXPECT_EQ(points[1], Rat(2));
+  EXPECT_EQ(points[2], Rat(4));
+  EXPECT_EQ(points[3], Rat(6));
+}
+
+TEST(Instance, AgreeableDetection) {
+  EXPECT_TRUE(Instance({mk(0, 4, 1), mk(1, 5, 1), mk(2, 5, 1)}).is_agreeable());
+  // r=0 has later deadline than r=1's job: not agreeable.
+  EXPECT_FALSE(Instance({mk(0, 9, 1), mk(1, 5, 1)}).is_agreeable());
+  // Equal releases may have any deadlines.
+  EXPECT_TRUE(Instance({mk(0, 9, 1), mk(0, 5, 1)}).is_agreeable());
+  EXPECT_TRUE(Instance().is_agreeable());
+}
+
+TEST(Instance, LaminarDetection) {
+  // Nested and disjoint windows: laminar.
+  EXPECT_TRUE(Instance({mk(0, 10, 1), mk(1, 4, 1), mk(5, 9, 1), mk(2, 3, 1)})
+                  .is_laminar());
+  // Properly crossing windows: not laminar.
+  EXPECT_FALSE(Instance({mk(0, 5, 1), mk(3, 8, 1)}).is_laminar());
+  // Touching at an endpoint is disjoint (half-open windows).
+  EXPECT_TRUE(Instance({mk(0, 5, 1), mk(5, 8, 1)}).is_laminar());
+}
+
+TEST(Instance, AllLooseAndRatio) {
+  Instance in({mk(0, 4, 1), mk(0, 8, 2)});
+  EXPECT_TRUE(in.all_loose(Rat(1, 4)));
+  EXPECT_FALSE(in.all_loose(Rat(1, 5)));
+  EXPECT_EQ(in.processing_time_ratio(), Rat(2));
+  EXPECT_EQ(Instance().processing_time_ratio(), Rat(1));
+}
+
+TEST(Instance, SortCanonical) {
+  Instance in({mk(5, 6, 1), mk(0, 4, 1), mk(0, 9, 2)});
+  auto order = in.sort_canonical();
+  // Release 0 first with LARGER deadline first, then release 5.
+  EXPECT_EQ(in.job(0).deadline, Rat(9));
+  EXPECT_EQ(in.job(1).deadline, Rat(4));
+  EXPECT_EQ(in.job(2).release, Rat(5));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2u);  // old index of the new first job
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(Instance, DenominatorLcm) {
+  Instance in({{Rat(1, 2), Rat(3), Rat(1, 3)}, {Rat(0), Rat(1, 5), Rat(1, 10)}});
+  EXPECT_EQ(in.denominator_lcm(), BigInt(30));
+  EXPECT_EQ(Instance().denominator_lcm(), BigInt(1));
+}
+
+TEST(Instance, TotalWorkAndWellFormed) {
+  Instance in({mk(0, 4, 1), mk(0, 8, 2)});
+  EXPECT_EQ(in.total_work(), Rat(3));
+  EXPECT_TRUE(in.well_formed());
+  in.add_job(Job{Rat(0), Rat(1), Rat(5)});
+  EXPECT_FALSE(in.well_formed());
+}
+
+}  // namespace
+}  // namespace minmach

@@ -1,0 +1,107 @@
+#include "minmach/util/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+Interval iv(std::int64_t lo, std::int64_t hi) { return {Rat(lo), Rat(hi)}; }
+
+TEST(Interval, Basics) {
+  EXPECT_TRUE(iv(3, 3).empty());
+  EXPECT_TRUE(iv(4, 3).empty());
+  EXPECT_EQ(iv(1, 4).length(), Rat(3));
+  EXPECT_EQ(iv(4, 1).length(), Rat(0));
+  EXPECT_TRUE(iv(1, 4).contains(Rat(1)));
+  EXPECT_FALSE(iv(1, 4).contains(Rat(4)));  // half-open
+  EXPECT_EQ(intersect(iv(1, 5), iv(3, 8)), iv(3, 5));
+  EXPECT_TRUE(intersect(iv(1, 2), iv(3, 4)).empty());
+}
+
+TEST(IntervalSet, MergesOverlapsAndAdjacency) {
+  IntervalSet s;
+  s.add(iv(0, 2));
+  s.add(iv(4, 6));
+  EXPECT_EQ(s.piece_count(), 2u);
+  s.add(iv(2, 4));  // bridges the gap (adjacent on both sides)
+  EXPECT_EQ(s.piece_count(), 1u);
+  EXPECT_EQ(s.length(), Rat(6));
+  EXPECT_EQ(s.min(), Rat(0));
+  EXPECT_EQ(s.max(), Rat(6));
+}
+
+TEST(IntervalSet, IgnoresEmptyPieces) {
+  IntervalSet s;
+  s.add(iv(3, 3));
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.length(), Rat(0));
+  EXPECT_THROW((void)s.min(), std::logic_error);
+}
+
+TEST(IntervalSet, Contains) {
+  IntervalSet s({iv(0, 1), iv(2, 3)});
+  EXPECT_TRUE(s.contains(Rat(0)));
+  EXPECT_FALSE(s.contains(Rat(1)));
+  EXPECT_TRUE(s.contains(Rat(5, 2)));
+  EXPECT_FALSE(s.contains(Rat(3)));
+  EXPECT_FALSE(s.contains(Rat(-1)));
+}
+
+TEST(IntervalSet, IntersectInterval) {
+  IntervalSet s({iv(0, 2), iv(4, 6), iv(8, 10)});
+  IntervalSet cut = s.intersect(iv(1, 9));
+  EXPECT_EQ(cut.pieces().size(), 3u);
+  EXPECT_EQ(cut.length(), Rat(1) + Rat(2) + Rat(1));
+}
+
+TEST(IntervalSet, IntersectSet) {
+  IntervalSet a({iv(0, 4), iv(6, 10)});
+  IntervalSet b({iv(2, 7), iv(9, 12)});
+  IntervalSet both = a.intersect(b);
+  EXPECT_EQ(both, IntervalSet({iv(2, 4), iv(6, 7), iv(9, 10)}));
+  EXPECT_EQ(both.length(), Rat(4));
+}
+
+TEST(IntervalSet, ToString) {
+  EXPECT_EQ(IntervalSet().to_string(), "{}");
+  EXPECT_EQ(IntervalSet({iv(0, 1), iv(2, 3)}).to_string(),
+            "[0,1) u [2,3)");
+}
+
+class IntervalSetRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetRandom, MeasureMatchesPointSampling) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    IntervalSet a;
+    IntervalSet b;
+    for (int i = 0; i < 6; ++i) {
+      std::int64_t lo = rng.uniform_int(0, 40);
+      a.add(iv(lo, lo + rng.uniform_int(0, 8)));
+      lo = rng.uniform_int(0, 40);
+      b.add(iv(lo, lo + rng.uniform_int(0, 8)));
+    }
+    IntervalSet both = a.intersect(b);
+    // Membership agreement on a grid of half-integers.
+    for (std::int64_t k = -1; k <= 100; ++k) {
+      Rat t(k, 2);
+      EXPECT_EQ(both.contains(t), a.contains(t) && b.contains(t))
+          << "a=" << a << " b=" << b << " t=" << t;
+    }
+    // Inclusion-exclusion style sanity: |a cap b| <= min(|a|, |b|).
+    EXPECT_LE(both.length(), a.length());
+    EXPECT_LE(both.length(), b.length());
+    // Union length via add.
+    IntervalSet u = a;
+    u.add(b);
+    EXPECT_EQ(u.length(), a.length() + b.length() - both.length());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetRandom,
+                         ::testing::Values(7u, 8u, 9u));
+
+}  // namespace
+}  // namespace minmach

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/io/gantt.hpp"
+#include "minmach/io/serialize.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+TEST(Serialize, InstanceRoundTrip) {
+  Rng rng(7);
+  GenConfig config;
+  config.n = 20;
+  Instance in = gen_general(rng, config);
+  Instance back = instance_from_text(to_text(in));
+  ASSERT_EQ(back.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_EQ(back.job(static_cast<JobId>(i)), in.job(static_cast<JobId>(i)));
+}
+
+TEST(Serialize, InstanceWithBigRationals) {
+  Instance in;
+  in.add_job({Rat::from_string("1/3"),
+              Rat::from_string("123456789123456789123456789/7"),
+              Rat::from_string("5/11")});
+  Instance back = instance_from_text(to_text(in));
+  EXPECT_EQ(back.job(0), in.job(0));
+}
+
+TEST(Serialize, ScheduleRoundTrip) {
+  Rng rng(9);
+  GenConfig config;
+  config.n = 15;
+  Instance in = gen_general(rng, config);
+  std::int64_t m = optimal_migratory_machines(in);
+  Schedule s = optimal_migratory_schedule(in, m);
+  Schedule back = schedule_from_text(to_text(s));
+  EXPECT_EQ(back.machine_count(), s.machine_count());
+  EXPECT_TRUE(validate(in, back).ok);
+  for (std::size_t machine = 0; machine < s.machine_count(); ++machine)
+    EXPECT_EQ(back.slots(machine), s.slots(machine));
+}
+
+TEST(Serialize, RejectsGarbage) {
+  EXPECT_THROW((void)instance_from_text("garbage"), std::invalid_argument);
+  EXPECT_THROW((void)instance_from_text("minmach-instance v1\n3\n1 2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)schedule_from_text("minmach-instance v1\n0"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/minmach_io_test.txt";
+  save_file(path, "hello\nworld\n");
+  EXPECT_EQ(load_file(path), "hello\nworld\n");
+  EXPECT_THROW((void)load_file(path + ".does_not_exist"), std::runtime_error);
+}
+
+TEST(Gantt, RendersRowsPerMachine) {
+  Instance in({{Rat(0), Rat(4), Rat(2)}, {Rat(0), Rat(4), Rat(4)}});
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(2), 0);
+  s.add_slot(1, Rat(0), Rat(4), 1);
+  s.canonicalize();
+  GanttOptions options;
+  options.width = 8;
+  std::string art = render_gantt(in, s, options);
+  EXPECT_NE(art.find("M0 |AAAA....|"), std::string::npos) << art;
+  EXPECT_NE(art.find("M1 |BBBBBBBB|"), std::string::npos) << art;
+  EXPECT_NE(art.find("legend:"), std::string::npos);
+}
+
+TEST(Gantt, EmptySchedule) {
+  Instance in;
+  Schedule s;
+  EXPECT_NE(render_gantt(in, s).find("(empty schedule)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace minmach

@@ -1,0 +1,98 @@
+#include "minmach/algos/laminar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+TEST(Laminar, RejectsBadInput) {
+  EXPECT_THROW(LaminarPolicy(0), std::invalid_argument);
+  // Crossing windows are not laminar.
+  Instance crossing({mk(0, 5, 1), mk(3, 8, 1)});
+  EXPECT_THROW((void)schedule_laminar(crossing, 4, Rat(1, 2), Rat(3, 2)),
+               std::invalid_argument);
+  Instance nested({mk(0, 8, 1), mk(1, 3, 1)});
+  EXPECT_THROW((void)schedule_laminar(nested, 4, Rat(1, 2), Rat(2)),
+               std::invalid_argument);  // alpha*s = 1
+}
+
+TEST(Laminar, NestedChainGetsScheduled) {
+  // A chain of nested tight jobs.
+  Instance in({mk(0, 16, 14), mk(1, 9, 7), mk(2, 6, 3), mk(3, 5, 2)});
+  ASSERT_TRUE(in.is_laminar());
+  LaminarRun run = schedule_laminar(in, 8, Rat(1, 2), Rat(3, 2));
+  ValidateOptions options;
+  options.require_non_migratory = true;
+  auto result = validate(in, run.schedule, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(run.assignment_failures, 0u);
+}
+
+TEST(Laminar, FreeMachinePreferredOverBudgets) {
+  // Two disjoint tight jobs share one machine (no window conflict).
+  Instance in({mk(0, 2, 2), mk(4, 6, 2)});
+  LaminarRun run = schedule_laminar(in, 4, Rat(1, 2), Rat(3, 2));
+  EXPECT_EQ(run.machines_tight, 1u);
+}
+
+class LaminarProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LaminarProperty, FeasibleOnRandomLaminarInstances) {
+  Rng rng(GetParam());
+  GenConfig config;
+  config.n = 60;
+  config.horizon = 120;
+  for (int iter = 0; iter < 3; ++iter) {
+    Instance in = gen_laminar(rng, config);
+    ASSERT_TRUE(in.is_laminar());
+    std::int64_t m = optimal_migratory_machines(in);
+    ASSERT_GE(m, 1);
+    // Theorem 9 budget m' = c * m * log2(m) with a generous constant.
+    double budget_d = 8.0 * static_cast<double>(m) *
+                      std::max(1.0, std::log2(static_cast<double>(m)));
+    auto budget = static_cast<std::size_t>(budget_d) + 1;
+    LaminarRun run = schedule_laminar(in, budget, Rat(1, 2), Rat(3, 2));
+    ValidateOptions options;
+    options.require_non_migratory = true;
+    auto result = validate(in, run.schedule, options);
+    EXPECT_TRUE(result.ok) << result.summary();
+    EXPECT_EQ(run.assignment_failures, 0u)
+        << "budget " << budget << " too small for m=" << m;
+  }
+}
+
+TEST_P(LaminarProperty, TightOnlyInstances) {
+  Rng rng(GetParam() * 7);
+  GenConfig config;
+  config.n = 50;
+  config.horizon = 100;
+  Instance in = gen_laminar_tight(rng, config, Rat(1, 2));
+  ASSERT_TRUE(in.is_laminar());
+  std::int64_t m = optimal_migratory_machines(in);
+  double budget_d = 8.0 * static_cast<double>(m) *
+                    std::max(1.0, std::log2(static_cast<double>(m)));
+  auto budget = static_cast<std::size_t>(budget_d) + 1;
+  LaminarRun run = schedule_laminar(in, budget, Rat(1, 2), Rat(3, 2));
+  ValidateOptions options;
+  options.require_non_migratory = true;
+  auto result = validate(in, run.schedule, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(run.machines_loose, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaminarProperty,
+                         ::testing::Values(21u, 22u, 23u));
+
+}  // namespace
+}  // namespace minmach

@@ -1,0 +1,91 @@
+#include "minmach/algos/loose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/core/transforms.hpp"
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+TEST(LoosePipeline, RejectsBadParameters) {
+  Instance loose({mk(0, 8, 2)});
+  EXPECT_THROW((void)schedule_loose_jobs(loose, Rat(1, 2), Rat(2)),
+               std::invalid_argument);  // alpha*s = 1
+  Instance tight({mk(0, 4, 3)});
+  EXPECT_THROW((void)schedule_loose_jobs(tight, Rat(1, 4), Rat(2)),
+               std::invalid_argument);  // not alpha-loose
+}
+
+TEST(LoosePipeline, SimpleInstance) {
+  Instance in({mk(0, 8, 2), mk(0, 8, 2), mk(2, 10, 2)});
+  LooseRun run = schedule_loose_jobs(in, Rat(1, 4), Rat(2));
+  ValidateOptions options;
+  options.require_non_migratory = true;
+  auto result = validate(in, run.schedule, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_GE(run.machines_used, 1u);
+}
+
+class LoosePipelineProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(LoosePipelineProperty, ProducesFeasibleNonMigratorySchedules) {
+  Rng rng(GetParam());
+  GenConfig config;
+  config.n = 40;
+  const Rat alpha(1, 3);
+  const Rat s(2);
+  for (int iter = 0; iter < 3; ++iter) {
+    Instance in = gen_loose(rng, config, alpha);
+    LooseRun run = schedule_loose_jobs(in, alpha, s);
+    ValidateOptions options;
+    options.require_non_migratory = true;
+    auto result = validate(in, run.schedule, options);
+    EXPECT_TRUE(result.ok) << result.summary();
+  }
+}
+
+TEST_P(LoosePipelineProperty, MachineCountIsWithinConstantOfOpt) {
+  // Theorem 5's O(1) competitiveness, checked with a loose empirical cap:
+  // machines used within a fixed constant factor of the migratory optimum.
+  Rng rng(GetParam() * 17);
+  GenConfig config;
+  config.n = 50;
+  const Rat alpha(1, 3);
+  Instance in = gen_loose(rng, config, alpha);
+  std::int64_t m = optimal_migratory_machines(in);
+  ASSERT_GE(m, 1);
+  LooseRun run = schedule_loose_jobs(in, alpha, Rat(2));
+  EXPECT_LE(run.machines_used, static_cast<std::size_t>(20 * m))
+      << "machines=" << run.machines_used << " opt=" << m;
+}
+
+TEST_P(LoosePipelineProperty, InflationLemma4Holds) {
+  // Lemma 4: m(J^s) = O(m(J)) for alpha-loose instances with alpha < 1/s.
+  Rng rng(GetParam() * 31);
+  GenConfig config;
+  config.n = 30;
+  const Rat alpha(1, 3);
+  const Rat s(2);
+  Instance in = gen_loose(rng, config, alpha);
+  Instance inflated = inflate(in, s);
+  std::int64_t m = optimal_migratory_machines(in);
+  std::int64_t ms = optimal_migratory_machines(inflated);
+  ASSERT_GE(m, 1);
+  EXPECT_GE(ms, m);  // more work can only need more machines
+  EXPECT_LE(ms, 12 * m) << "m(J^s)=" << ms << " m(J)=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoosePipelineProperty,
+                         ::testing::Values(11u, 12u, 13u));
+
+}  // namespace
+}  // namespace minmach

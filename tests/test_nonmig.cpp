@@ -1,0 +1,106 @@
+#include "minmach/algos/nonmig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+TEST(FitPolicy, FirstFitPacksSequentially) {
+  Instance in({mk(0, 2, 1), mk(0, 2, 1), mk(0, 2, 1)});
+  FitPolicy policy(FitRule::kFirstFit);
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  // Each machine can hold two of the three unit jobs; first fit opens 2.
+  EXPECT_EQ(run.machines_used, 2u);
+  ValidateOptions options;
+  options.require_non_migratory = true;
+  auto result = validate(in, run.schedule, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(FitPolicy, OpensMachineWhenNothingFits) {
+  Instance in({mk(0, 1, 1), mk(0, 1, 1), mk(0, 1, 1)});
+  FitPolicy policy(FitRule::kFirstFit);
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  EXPECT_EQ(run.machines_used, 3u);  // zero laxity jobs cannot share
+}
+
+TEST(FitPolicy, CommitmentIsRemembered) {
+  Instance in({mk(0, 4, 2), mk(1, 5, 2)});
+  FitPolicy policy(FitRule::kFirstFit);
+  Simulator sim(policy);
+  sim.submit_all(in);
+  sim.run_until(Rat(1));
+  EXPECT_TRUE(policy.machine_of(0).has_value());
+  EXPECT_TRUE(policy.machine_of(1).has_value());
+  sim.run_to_completion();
+  // Committed machine matches where the job actually ran.
+  Schedule s = sim.schedule();
+  for (JobId id = 0; id < in.size(); ++id) {
+    auto machines = s.machines_of(id);
+    ASSERT_EQ(machines.size(), 1u);
+    EXPECT_EQ(machines[0], *policy.machine_of(id));
+  }
+}
+
+struct RuleCase {
+  FitRule rule;
+  std::uint64_t seed;
+};
+
+class AllFitRules : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(AllFitRules, NeverMissesAndStaysNonMigratory) {
+  // Exact admission + per-machine EDF implies no fit policy ever misses a
+  // deadline, on any instance.
+  Rng rng(GetParam().seed);
+  GenConfig config;
+  config.n = 40;
+  for (int iter = 0; iter < 3; ++iter) {
+    Instance in = gen_general(rng, config);
+    FitPolicy policy(GetParam().rule, /*seed=*/GetParam().seed);
+    SimRun run = simulate(policy, in);
+    EXPECT_FALSE(run.missed);
+    ValidateOptions options;
+    options.require_non_migratory = true;
+    auto result = validate(in, run.schedule, options);
+    EXPECT_TRUE(result.ok) << policy.name() << "\n" << result.summary();
+    // Sanity: cannot beat the migratory optimum.
+    EXPECT_GE(run.machines_used, static_cast<std::size_t>(
+                                     optimal_migratory_machines(in)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, AllFitRules,
+    ::testing::Values(RuleCase{FitRule::kFirstFit, 1},
+                      RuleCase{FitRule::kBestFit, 2},
+                      RuleCase{FitRule::kWorstFit, 3},
+                      RuleCase{FitRule::kRandomFit, 4},
+                      RuleCase{FitRule::kNextFit, 5}),
+    [](const ::testing::TestParamInfo<RuleCase>& info) {
+      return fit_rule_name(info.param.rule);
+    });
+
+TEST(FitPolicy, NamesAreDistinct) {
+  EXPECT_STREQ(fit_rule_name(FitRule::kFirstFit), "FirstFit");
+  EXPECT_STREQ(fit_rule_name(FitRule::kBestFit), "BestFit");
+  EXPECT_STREQ(fit_rule_name(FitRule::kWorstFit), "WorstFit");
+  EXPECT_STREQ(fit_rule_name(FitRule::kRandomFit), "RandomFit");
+  EXPECT_STREQ(fit_rule_name(FitRule::kNextFit), "NextFit");
+  FitPolicy policy(FitRule::kBestFit);
+  EXPECT_EQ(policy.name(), "NonMig-BestFit");
+}
+
+}  // namespace
+}  // namespace minmach

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "minmach/algos/mediumfit.hpp"
+#include "minmach/algos/nonpreemptive.hpp"
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+TEST(MediumFit, RunsExactlyInTheMiddle) {
+  Instance in({mk(0, 10, 4)});  // laxity 6: runs [3, 7)
+  MediumFitPolicy policy;
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  const auto& slots = run.schedule.slots(0);
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(slots[0].start, Rat(3));
+  EXPECT_EQ(slots[0].end, Rat(7));
+  EXPECT_EQ(policy.peak_overlap(), 1u);
+}
+
+TEST(MediumFit, AnchorVariants) {
+  Instance in({mk(0, 10, 4)});
+  {
+    MediumFitPolicy latest(MediumFitAnchor::kLatest);
+    SimRun run = simulate(latest, in);
+    EXPECT_EQ(run.schedule.slots(0)[0].start, Rat(6));
+    EXPECT_EQ(latest.name(), "LatestFit");
+  }
+  {
+    MediumFitPolicy earliest(MediumFitAnchor::kEarliest);
+    SimRun run = simulate(earliest, in);
+    EXPECT_EQ(run.schedule.slots(0)[0].start, Rat(0));
+    EXPECT_EQ(earliest.name(), "EarliestFit");
+  }
+}
+
+TEST(MediumFit, FirstFitColoring) {
+  // Two jobs whose middle intervals overlap need two machines; a third
+  // disjoint one reuses machine 0.
+  Instance in({mk(0, 4, 2),    // runs [1,3)
+               mk(0, 4, 2),    // runs [1,3) again -> machine 1
+               mk(10, 14, 2)}  // runs [11,13) -> machine 0
+  );
+  MediumFitPolicy policy;
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  EXPECT_EQ(run.machines_used, 2u);
+  EXPECT_EQ(policy.peak_overlap(), 2u);
+  ValidateOptions options;
+  options.require_non_preemptive = true;
+  options.require_non_migratory = true;
+  auto result = validate(in, run.schedule, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(NonPreemptiveGreedy, PacksEarliestFit) {
+  Instance in({mk(0, 4, 2), mk(0, 6, 2), mk(0, 3, 3)});
+  NonPreemptiveGreedyPolicy policy;
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  ValidateOptions options;
+  options.require_non_preemptive = true;
+  auto result = validate(in, run.schedule, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(NonPreemptiveGreedy, OpensWhenDeadlineForces) {
+  // Second job cannot wait for the first to finish.
+  Instance in({mk(0, 2, 2), mk(0, 2, 2)});
+  NonPreemptiveGreedyPolicy policy;
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  EXPECT_EQ(run.machines_used, 2u);
+}
+
+class ReservationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReservationProperty, MediumFitAlwaysFeasibleNonPreemptive) {
+  Rng rng(GetParam());
+  GenConfig config;
+  config.n = 50;
+  for (int iter = 0; iter < 3; ++iter) {
+    Instance in = gen_general(rng, config);
+    MediumFitPolicy policy;
+    SimRun run = simulate(policy, in);
+    EXPECT_FALSE(run.missed);
+    ValidateOptions options;
+    options.require_non_preemptive = true;
+    options.require_non_migratory = true;
+    auto result = validate(in, run.schedule, options);
+    EXPECT_TRUE(result.ok) << result.summary();
+    // First-fit interval coloring is optimal for interval graphs: machines
+    // used == peak overlap of the fixed reservations.
+    EXPECT_EQ(run.machines_used, policy.peak_overlap());
+  }
+}
+
+TEST_P(ReservationProperty, MediumFitLemma8BoundOnAgreeableTight) {
+  Rng rng(GetParam() * 13 + 1);
+  GenConfig config;
+  config.n = 60;
+  const Rat alpha(1, 2);
+  Instance in = gen_agreeable_tight(rng, config, alpha);
+  ASSERT_TRUE(in.is_agreeable());
+  std::int64_t m = optimal_migratory_machines(in);
+  MediumFitPolicy policy;
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  // Lemma 8: at most 16 m / alpha machines.
+  Rat bound = Rat(16) * Rat(m) / alpha;
+  EXPECT_LE(Rat(static_cast<std::int64_t>(run.machines_used)), bound);
+}
+
+TEST_P(ReservationProperty, NonPreemptiveGreedyAlwaysFeasible) {
+  Rng rng(GetParam() + 1000);
+  GenConfig config;
+  config.n = 40;
+  Instance in = gen_general(rng, config);
+  NonPreemptiveGreedyPolicy policy;
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  ValidateOptions options;
+  options.require_non_preemptive = true;
+  auto result = validate(in, run.schedule, options);
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReservationProperty,
+                         ::testing::Values(5u, 6u, 7u));
+
+}  // namespace
+}  // namespace minmach

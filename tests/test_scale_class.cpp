@@ -1,0 +1,87 @@
+#include "minmach/algos/scale_class.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+TEST(ScaleClass, SameClassSharesAMachine) {
+  // Two similar jobs that fit sequentially.
+  Instance in({mk(0, 10, 2), mk(0, 10, 3)});
+  ScaleClassPolicy policy;
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  EXPECT_EQ(policy.class_count(), 1u);
+  EXPECT_EQ(run.machines_used, 1u);
+}
+
+TEST(ScaleClass, DifferentScalesGetSeparatePools) {
+  Instance in({mk(0, 40, 1), mk(0, 40, 16)});
+  ScaleClassPolicy policy;
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  EXPECT_EQ(policy.class_count(), 2u);
+  EXPECT_EQ(run.machines_used, 2u);
+}
+
+TEST(ScaleClass, FractionalProcessingTimes) {
+  Instance in({{Rat(0), Rat(2), Rat(1, 4)},
+               {Rat(0), Rat(2), Rat(1, 3)},
+               {Rat(0), Rat(2), Rat(3, 2)}});
+  ScaleClassPolicy policy;
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  ValidateOptions options;
+  options.require_non_preemptive = true;
+  options.require_non_migratory = true;
+  EXPECT_TRUE(validate(in, run.schedule, options).ok);
+}
+
+class ScaleClassProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScaleClassProperty, AlwaysNonPreemptiveAndFeasible) {
+  Rng rng(GetParam());
+  GenConfig config;
+  config.n = 50;
+  for (int iter = 0; iter < 3; ++iter) {
+    Instance in = gen_general(rng, config);
+    ScaleClassPolicy policy;
+    SimRun run = simulate(policy, in);
+    EXPECT_FALSE(run.missed);
+    ValidateOptions options;
+    options.require_non_preemptive = true;
+    options.require_non_migratory = true;
+    auto audit = validate(in, run.schedule, options);
+    EXPECT_TRUE(audit.ok) << audit.summary();
+  }
+}
+
+TEST_P(ScaleClassProperty, MachineCountScalesWithLogDelta) {
+  // Unit-processing instances have a single class: the pool count is 1 and
+  // machines track OPT times a constant.
+  Rng rng(GetParam() + 17);
+  GenConfig config;
+  config.n = 60;
+  Instance in = gen_unit(rng, config);
+  ScaleClassPolicy policy;
+  SimRun run = simulate(policy, in);
+  EXPECT_FALSE(run.missed);
+  EXPECT_EQ(policy.class_count(), 1u);
+  std::int64_t m = optimal_migratory_machines(in);
+  EXPECT_LE(run.machines_used, static_cast<std::size_t>(6 * m + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScaleClassProperty,
+                         ::testing::Values(71u, 72u, 73u));
+
+}  // namespace
+}  // namespace minmach

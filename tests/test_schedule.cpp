@@ -1,0 +1,92 @@
+#include "minmach/core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minmach {
+namespace {
+
+TEST(Schedule, AddAndCanonicalize) {
+  Schedule s;
+  s.add_slot(0, Rat(2), Rat(3), 7);
+  s.add_slot(0, Rat(0), Rat(1), 7);
+  s.add_slot(0, Rat(1), Rat(2), 7);  // three touching slots of one job
+  s.add_slot(2, Rat(0), Rat(1), 8);  // grows machine list
+  s.canonicalize();
+  EXPECT_EQ(s.machine_count(), 3u);
+  EXPECT_EQ(s.used_machine_count(), 2u);
+  ASSERT_EQ(s.slots(0).size(), 1u);  // merged
+  EXPECT_EQ(s.slots(0)[0].start, Rat(0));
+  EXPECT_EQ(s.slots(0)[0].end, Rat(3));
+  EXPECT_TRUE(s.slots(1).empty());
+}
+
+TEST(Schedule, EmptySlotsDropped) {
+  Schedule s;
+  s.add_slot(0, Rat(1), Rat(1), 0);
+  s.add_slot(0, Rat(2), Rat(1), 0);
+  EXPECT_EQ(s.total_slots(), 0u);
+  EXPECT_EQ(s.used_machine_count(), 0u);
+}
+
+TEST(Schedule, CanonicalizeRejectsOverlap) {
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(2), 0);
+  s.add_slot(0, Rat(1), Rat(3), 1);
+  EXPECT_THROW(s.canonicalize(), std::logic_error);
+}
+
+TEST(Schedule, WorkQueries) {
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(2), 5);
+  s.add_slot(1, Rat(3), Rat(4), 5);
+  s.add_slot(0, Rat(2), Rat(3), 6);
+  s.canonicalize();
+  EXPECT_EQ(s.work_of(5), Rat(3));
+  EXPECT_EQ(s.work_of(6), Rat(1));
+  EXPECT_EQ(s.work_of(99), Rat(0));
+  EXPECT_EQ(s.work_of_before(5, Rat(1)), Rat(1));
+  EXPECT_EQ(s.work_of_before(5, Rat(7, 2)), Rat(5, 2));
+  EXPECT_EQ(s.work_of_before(5, Rat(0)), Rat(0));
+}
+
+TEST(Schedule, MigrationAndPreemptionCounts) {
+  Schedule s;
+  // Job 0: machine 0 then machine 1 (1 migration, 1 preemption gap).
+  s.add_slot(0, Rat(0), Rat(1), 0);
+  s.add_slot(1, Rat(2), Rat(3), 0);
+  // Job 1: contiguous on one machine.
+  s.add_slot(1, Rat(0), Rat(2), 1);
+  s.canonicalize();
+  EXPECT_EQ(s.migration_count(), 1u);
+  EXPECT_EQ(s.preemption_count(), 1u);
+  EXPECT_EQ(s.machines_of(0), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(s.machines_of(1), (std::vector<std::size_t>{1}));
+}
+
+TEST(Schedule, PreemptionAcrossMachinesWithoutGapIsNotCounted) {
+  Schedule s;
+  // Job 0 switches machine back-to-back: a migration, not a preemption gap.
+  s.add_slot(0, Rat(0), Rat(1), 0);
+  s.add_slot(1, Rat(1), Rat(2), 0);
+  s.canonicalize();
+  EXPECT_EQ(s.migration_count(), 1u);
+  EXPECT_EQ(s.preemption_count(), 0u);
+}
+
+TEST(Schedule, RemapAndAppend) {
+  Schedule a;
+  a.add_slot(0, Rat(0), Rat(1), 0);
+  Schedule b;
+  b.add_slot(0, Rat(0), Rat(1), 0);
+  b.add_slot(1, Rat(1), Rat(2), 1);
+  b.remap_jobs({5, 7});
+  EXPECT_EQ(b.slots(0)[0].job, 5u);
+  EXPECT_EQ(b.slots(1)[0].job, 7u);
+  a.append_machines(b);
+  EXPECT_EQ(a.machine_count(), 3u);
+  EXPECT_EQ(a.slots(1)[0].job, 5u);
+  EXPECT_THROW(b.remap_jobs({1}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace minmach

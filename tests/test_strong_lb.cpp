@@ -1,0 +1,129 @@
+#include "minmach/adversary/strong_lb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/algos/mediumfit.hpp"
+#include "minmach/algos/nonpreemptive.hpp"
+#include "minmach/algos/scale_class.hpp"
+#include "minmach/core/validate.hpp"
+#include "minmach/flow/feasibility.hpp"
+
+namespace minmach {
+namespace {
+
+TEST(StrongLb, RejectsBadParameters) {
+  FitPolicy policy(FitRule::kFirstFit);
+  EXPECT_THROW((void)run_strong_lower_bound(policy, 1), std::invalid_argument);
+  StrongLbParams bad;
+  bad.alpha = Rat(1, 4);  // <= 1/2
+  EXPECT_THROW((void)run_strong_lower_bound(policy, 2, bad),
+               std::invalid_argument);
+  StrongLbParams bad2;
+  bad2.beta = Rat(2, 5);
+  bad2.alpha = Rat(51, 100);  // Eq. (1) fails: floor(0.05/0.4)=0
+  EXPECT_THROW((void)run_strong_lower_bound(policy, 2, bad2),
+               std::invalid_argument);
+}
+
+TEST(StrongLb, BaseGadgetForcesTwoMachines) {
+  FitPolicy policy(FitRule::kFirstFit);
+  StrongLbResult result = run_strong_lower_bound(policy, 2);
+  EXPECT_EQ(result.critical_jobs.size(), 2u);
+  EXPECT_FALSE(result.opponent_missed_deadline);
+  EXPECT_GE(result.machines_used, 2u);
+  // The released instance is migratory-feasible on 3 machines (Lemma 2 ii)
+  // -- in fact the base gadget even fits on 2.
+  EXPECT_TRUE(feasible_migratory(result.instance, 3));
+}
+
+struct LbCase {
+  FitRule rule;
+  int levels;
+};
+
+class StrongLbGameTest : public ::testing::TestWithParam<LbCase> {};
+
+TEST_P(StrongLbGameTest, ForcesKMachinesWhileOptStaysThree) {
+  FitPolicy policy(GetParam().rule, /*seed=*/987);
+  StrongLbResult result = run_strong_lower_bound(policy, GetParam().levels);
+
+  // (i) the opponent was forced to k distinct machines.
+  EXPECT_GE(result.machines_used,
+            static_cast<std::size_t>(GetParam().levels));
+  EXPECT_EQ(result.critical_jobs.size(),
+            static_cast<std::size_t>(GetParam().levels));
+  EXPECT_FALSE(result.opponent_missed_deadline);
+
+  // (ii) the full released instance has a migratory schedule on <= 3
+  // machines (certified exactly by max flow).
+  EXPECT_TRUE(feasible_migratory(result.instance, 3))
+      << "migratory OPT = "
+      << optimal_migratory_machines(result.instance);
+
+  // Job count grows as O(2^k).
+  EXPECT_LE(result.jobs, std::size_t{1} << (GetParam().levels + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Opponents, StrongLbGameTest,
+    ::testing::Values(LbCase{FitRule::kFirstFit, 4},
+                      LbCase{FitRule::kBestFit, 4},
+                      LbCase{FitRule::kWorstFit, 4},
+                      LbCase{FitRule::kNextFit, 4},
+                      LbCase{FitRule::kRandomFit, 3},
+                      LbCase{FitRule::kFirstFit, 6}),
+    [](const ::testing::TestParamInfo<LbCase>& info) {
+      return std::string(fit_rule_name(info.param.rule)) + "_k" +
+             std::to_string(info.param.levels);
+    });
+
+TEST(StrongLb, OpponentScheduleIsValidNonMigratory) {
+  FitPolicy policy(FitRule::kFirstFit);
+  StrongLbResult result = run_strong_lower_bound(policy, 4);
+  // Replay the instance against a fresh policy to inspect the schedule.
+  FitPolicy fresh(FitRule::kFirstFit);
+  SimRun run = simulate(fresh, result.instance, Rat(1),
+                        /*require_no_miss=*/true);
+  ValidateOptions options;
+  options.require_non_migratory = true;
+  auto validation = validate(result.instance, run.schedule, options);
+  EXPECT_TRUE(validation.ok) << validation.summary();
+}
+
+TEST(StrongLb, NonPreemptiveOpponentsAreForcedToo) {
+  // The generalized entry point attacks reservation-based (non-preemptive)
+  // policies as well; the adversary's Case-2 job cannot fit any critical
+  // machine's reservation book either.
+  {
+    MediumFitPolicy policy;
+    StrongLbResult result = run_strong_lower_bound(policy, 4);
+    EXPECT_GE(result.machines_used, 4u);
+    EXPECT_TRUE(feasible_migratory(result.instance, 3));
+  }
+  {
+    NonPreemptiveGreedyPolicy policy;
+    StrongLbResult result = run_strong_lower_bound(policy, 4);
+    EXPECT_GE(result.machines_used, 4u);
+    EXPECT_TRUE(feasible_migratory(result.instance, 3));
+  }
+  {
+    ScaleClassPolicy policy;
+    StrongLbResult result = run_strong_lower_bound(policy, 4);
+    EXPECT_GE(result.machines_used, 4u);
+    EXPECT_TRUE(feasible_migratory(result.instance, 3));
+  }
+}
+
+TEST(StrongLb, MachinesGrowWithLevels) {
+  std::size_t previous = 0;
+  for (int k = 2; k <= 5; ++k) {
+    FitPolicy policy(FitRule::kFirstFit);
+    StrongLbResult result = run_strong_lower_bound(policy, k);
+    EXPECT_GE(result.machines_used, static_cast<std::size_t>(k));
+    EXPECT_GE(result.machines_used, previous);
+    previous = result.machines_used;
+  }
+}
+
+}  // namespace
+}  // namespace minmach

@@ -1,0 +1,153 @@
+#include "minmach/core/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minmach/gen/generators.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+TEST(Transforms, InflateScalesProcessing) {
+  Instance in({mk(0, 10, 2)});
+  Instance out = inflate(in, Rat(3));
+  EXPECT_EQ(out.job(0).processing, Rat(6));
+  EXPECT_EQ(out.job(0).release, Rat(0));
+  EXPECT_EQ(out.job(0).deadline, Rat(10));
+  // Over-inflation breaks feasibility.
+  EXPECT_THROW((void)inflate(Instance({mk(0, 3, 2)}), Rat(2)),
+               std::invalid_argument);
+  EXPECT_THROW((void)inflate(in, Rat(1, 2)), std::invalid_argument);
+}
+
+TEST(Transforms, ShrinkWindows) {
+  Instance in({mk(0, 10, 4)});  // laxity 6
+  Instance right = shrink_window_right(in, Rat(1, 2));
+  EXPECT_EQ(right.job(0).deadline, Rat(7));  // d - gamma*l = 10 - 3
+  EXPECT_EQ(right.job(0).release, Rat(0));
+  Instance left = shrink_window_left(in, Rat(1, 3));
+  EXPECT_EQ(left.job(0).release, Rat(2));  // r + gamma*l = 0 + 2
+  EXPECT_EQ(left.job(0).deadline, Rat(10));
+  // Jobs stay well-formed for gamma < 1.
+  EXPECT_TRUE(right.well_formed());
+  EXPECT_TRUE(left.well_formed());
+  EXPECT_THROW((void)shrink_window_left(in, Rat(1)), std::invalid_argument);
+}
+
+TEST(Transforms, Lemma4SplitStructure) {
+  // alpha = 1/4-loose job, s = 2 (alpha*s = 1/2 < 1).
+  Instance in({mk(0, 16, 4)});
+  auto pieces = lemma4_split(in, Rat(2), Rat(1, 4));
+  ASSERT_EQ(pieces.size(), 2u);
+  const Job& p1 = pieces[0].job(0);
+  const Job& p2 = pieces[1].job(0);
+  // delta = (1 - alpha*s)/ceil(s) * (d - r) = (1/2)/2 * 16 = 4.
+  EXPECT_EQ(p1.release, Rat(0));
+  EXPECT_EQ(p1.deadline, Rat(8));  // r + (p + delta) = 0 + 8
+  EXPECT_EQ(p1.processing, Rat(4));
+  EXPECT_EQ(p2.release, Rat(8));
+  EXPECT_EQ(p2.deadline, Rat(16));  // r + s*p + ceil(s)*delta = 8 + 8
+  EXPECT_EQ(p2.processing, Rat(4));  // (s - ceil(s) + 1) * p = 1 * 4
+  // Pieces partition the inflated work and stay inside I(j).
+  EXPECT_EQ(p1.processing + p2.processing, Rat(2) * Rat(4));
+  EXPECT_TRUE(p1.well_formed());
+  EXPECT_TRUE(p2.well_formed());
+  EXPECT_THROW((void)lemma4_split(in, Rat(2), Rat(1, 2)),
+               std::invalid_argument);  // alpha*s = 1
+}
+
+TEST(Transforms, Lemma4SplitFractionalS) {
+  // s = 3/2, ceil(s) = 2, alpha = 1/2 would violate; use alpha = 1/2 - eps.
+  Instance in({mk(0, 24, 8)});  // p/window = 1/3 <= alpha
+  Rat alpha(2, 5);              // alpha*s = 3/5 < 1
+  auto pieces = lemma4_split(in, Rat(3, 2), alpha);
+  ASSERT_EQ(pieces.size(), 2u);
+  Rat total = pieces[0].job(0).processing + pieces[1].job(0).processing;
+  EXPECT_EQ(total, Rat(12));  // s * p
+  // Last piece carries (s - ceil(s) + 1)p = p/2.
+  EXPECT_EQ(pieces[1].job(0).processing, Rat(4));
+  for (const auto& piece : pieces) {
+    EXPECT_TRUE(piece.well_formed());
+    EXPECT_GE(piece.job(0).release, Rat(0));
+    EXPECT_LE(piece.job(0).deadline, Rat(24));
+  }
+}
+
+TEST(Transforms, AffineAndConcat) {
+  Instance in({mk(1, 3, 1)});
+  Instance moved = affine(in, Rat(10), Rat(2));
+  EXPECT_EQ(moved.job(0).release, Rat(12));
+  EXPECT_EQ(moved.job(0).deadline, Rat(16));
+  EXPECT_EQ(moved.job(0).processing, Rat(2));
+  EXPECT_THROW((void)affine(in, Rat(0), Rat(0)), std::invalid_argument);
+
+  Instance both = concat(in, moved);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both.job(1).release, Rat(12));
+}
+
+TEST(Transforms, SplitByLooseness) {
+  Instance in({mk(0, 4, 1), mk(0, 4, 3), mk(0, 8, 2)});
+  Split split = split_by_looseness(in, Rat(1, 2));
+  ASSERT_EQ(split.loose.size(), 2u);
+  ASSERT_EQ(split.tight.size(), 1u);
+  EXPECT_EQ(split.loose_ids, (std::vector<JobId>{0, 2}));
+  EXPECT_EQ(split.tight_ids, (std::vector<JobId>{1}));
+  EXPECT_EQ(split.tight.job(0).processing, Rat(3));
+}
+
+class TransformProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransformProperty, ShrinkKeepsWellFormedAndNests) {
+  Rng rng(GetParam());
+  GenConfig config;
+  config.n = 30;
+  Instance in = gen_general(rng, config);
+  for (const Rat& gamma : {Rat(1, 4), Rat(1, 2), Rat(3, 4)}) {
+    Instance left = shrink_window_left(in, gamma);
+    Instance right = shrink_window_right(in, gamma);
+    EXPECT_TRUE(left.well_formed());
+    EXPECT_TRUE(right.well_formed());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      auto id = static_cast<JobId>(i);
+      EXPECT_GE(left.job(id).release, in.job(id).release);
+      EXPECT_LE(right.job(id).deadline, in.job(id).deadline);
+      EXPECT_EQ(left.job(id).processing, in.job(id).processing);
+    }
+  }
+}
+
+TEST_P(TransformProperty, Lemma4PiecesNestAndSumUp) {
+  Rng rng(GetParam() + 99);
+  GenConfig config;
+  config.n = 20;
+  Rat alpha(1, 3);
+  Rat s(2);
+  Instance in = gen_loose(rng, config, alpha);
+  auto pieces = lemma4_split(in, s, alpha);
+  ASSERT_EQ(pieces.size(), 2u);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    auto id = static_cast<JobId>(i);
+    Rat total(0);
+    for (const auto& piece : pieces) {
+      const Job& pj = piece.job(id);
+      EXPECT_TRUE(pj.well_formed());
+      EXPECT_GE(pj.release, in.job(id).release);
+      EXPECT_LE(pj.deadline, in.job(id).deadline);
+      total += pj.processing;
+    }
+    EXPECT_EQ(total, s * in.job(id).processing);
+    // Consecutive pieces are disjoint in time.
+    EXPECT_LE(pieces[0].job(id).deadline, pieces[1].job(id).release);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformProperty,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace minmach

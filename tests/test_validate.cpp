@@ -1,0 +1,122 @@
+#include "minmach/core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minmach {
+namespace {
+
+Job mk(std::int64_t r, std::int64_t d, std::int64_t p) {
+  return {Rat(r), Rat(d), Rat(p)};
+}
+
+Instance two_jobs() { return Instance({mk(0, 4, 2), mk(1, 5, 2)}); }
+
+TEST(Validate, AcceptsFeasibleSchedule) {
+  Instance in = two_jobs();
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(2), 0);
+  s.add_slot(0, Rat(2), Rat(4), 1);
+  s.canonicalize();
+  auto result = validate(in, s);
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(Validate, RejectsWindowViolation) {
+  Instance in = two_jobs();
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(2), 0);
+  s.add_slot(0, Rat(4), Rat(6), 1);  // job 1 past its deadline 5
+  auto result = validate(in, s);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Validate, RejectsWrongAmountOfWork) {
+  Instance in = two_jobs();
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(1), 0);  // job 0 needs 2, gets 1
+  s.add_slot(0, Rat(1), Rat(3), 1);
+  auto result = validate(in, s);
+  EXPECT_FALSE(result.ok);
+  // With allow_unfinished, underprocessing is fine but overprocessing not.
+  ValidateOptions options;
+  options.allow_unfinished = true;
+  EXPECT_TRUE(validate(in, s, options).ok);
+  s.add_slot(1, Rat(3), Rat(5), 1);  // now job 1 has 4 > 2
+  EXPECT_FALSE(validate(in, s, options).ok);
+}
+
+TEST(Validate, RejectsUnscheduledJob) {
+  Instance in = two_jobs();
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(2), 0);
+  EXPECT_FALSE(validate(in, s).ok);
+  ValidateOptions options;
+  options.allow_unfinished = true;
+  EXPECT_TRUE(validate(in, s, options).ok);
+}
+
+TEST(Validate, RejectsMachineDoubleBooking) {
+  Instance in = two_jobs();
+  Schedule s;
+  s.add_slot(0, Rat(1), Rat(3), 0);
+  s.add_slot(0, Rat(2), Rat(4), 1);  // overlaps on machine 0
+  auto result = validate(in, s);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Validate, RejectsSelfParallelism) {
+  Instance in = Instance({mk(0, 4, 3)});
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(2), 0);
+  s.add_slot(1, Rat(1), Rat(2), 0);  // same job on two machines at t in [1,2)
+  auto result = validate(in, s);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Validate, NonMigratoryFlag) {
+  Instance in = Instance({mk(0, 4, 2)});
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(1), 0);
+  s.add_slot(1, Rat(1), Rat(2), 0);
+  EXPECT_TRUE(validate(in, s).ok);
+  ValidateOptions options;
+  options.require_non_migratory = true;
+  EXPECT_FALSE(validate(in, s, options).ok);
+}
+
+TEST(Validate, NonPreemptiveFlag) {
+  Instance in = Instance({mk(0, 6, 2)});
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(1), 0);
+  s.add_slot(0, Rat(2), Rat(3), 0);  // gap
+  ValidateOptions options;
+  options.require_non_preemptive = true;
+  EXPECT_FALSE(validate(in, s, options).ok);
+
+  Schedule contiguous;
+  contiguous.add_slot(0, Rat(0), Rat(2), 0);
+  EXPECT_TRUE(validate(in, contiguous, options).ok);
+}
+
+TEST(Validate, SpeedScaling) {
+  // Speed-2 machine: job with p=4 needs 2 wall units.
+  Instance in = Instance({mk(0, 3, 4)});
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(2), 0);
+  ValidateOptions options;
+  options.speed = Rat(2);
+  EXPECT_TRUE(validate(in, s, options).ok);
+  EXPECT_FALSE(validate(in, s).ok);  // at unit speed 2 != 4
+}
+
+TEST(Validate, UnknownJobId) {
+  Instance in = two_jobs();
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(2), 0);
+  s.add_slot(0, Rat(2), Rat(4), 1);
+  s.add_slot(1, Rat(0), Rat(1), 9);  // no such job
+  EXPECT_FALSE(validate(in, s).ok);
+}
+
+}  // namespace
+}  // namespace minmach
