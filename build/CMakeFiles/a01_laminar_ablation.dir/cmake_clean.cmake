@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a01_laminar_ablation.dir/bench/a01_laminar_ablation.cpp.o"
+  "CMakeFiles/a01_laminar_ablation.dir/bench/a01_laminar_ablation.cpp.o.d"
+  "bench/a01_laminar_ablation"
+  "bench/a01_laminar_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a01_laminar_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

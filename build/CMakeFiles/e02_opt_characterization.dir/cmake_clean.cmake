@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e02_opt_characterization.dir/bench/e02_opt_characterization.cpp.o"
+  "CMakeFiles/e02_opt_characterization.dir/bench/e02_opt_characterization.cpp.o.d"
+  "bench/e02_opt_characterization"
+  "bench/e02_opt_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e02_opt_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e03_kp_transform.dir/bench/e03_kp_transform.cpp.o"
+  "CMakeFiles/e03_kp_transform.dir/bench/e03_kp_transform.cpp.o.d"
+  "bench/e03_kp_transform"
+  "bench/e03_kp_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e03_kp_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e03_kp_transform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for e03_kp_transform.
+# This may be replaced when dependencies are built.

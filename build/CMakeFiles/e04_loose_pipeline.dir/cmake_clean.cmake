@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e04_loose_pipeline.dir/bench/e04_loose_pipeline.cpp.o"
+  "CMakeFiles/e04_loose_pipeline.dir/bench/e04_loose_pipeline.cpp.o.d"
+  "bench/e04_loose_pipeline"
+  "bench/e04_loose_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e04_loose_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

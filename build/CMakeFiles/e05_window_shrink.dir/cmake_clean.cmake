@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e05_window_shrink.dir/bench/e05_window_shrink.cpp.o"
+  "CMakeFiles/e05_window_shrink.dir/bench/e05_window_shrink.cpp.o.d"
+  "bench/e05_window_shrink"
+  "bench/e05_window_shrink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e05_window_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

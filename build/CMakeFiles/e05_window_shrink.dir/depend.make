@@ -1,0 +1,2 @@
+# Empty dependencies file for e05_window_shrink.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e06_inflation.dir/bench/e06_inflation.cpp.o"
+  "CMakeFiles/e06_inflation.dir/bench/e06_inflation.cpp.o.d"
+  "bench/e06_inflation"
+  "bench/e06_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e06_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

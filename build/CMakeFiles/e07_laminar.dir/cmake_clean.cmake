@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e07_laminar.dir/bench/e07_laminar.cpp.o"
+  "CMakeFiles/e07_laminar.dir/bench/e07_laminar.cpp.o.d"
+  "bench/e07_laminar"
+  "bench/e07_laminar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e07_laminar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

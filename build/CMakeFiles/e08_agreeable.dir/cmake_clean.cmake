@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e08_agreeable.dir/bench/e08_agreeable.cpp.o"
+  "CMakeFiles/e08_agreeable.dir/bench/e08_agreeable.cpp.o.d"
+  "bench/e08_agreeable"
+  "bench/e08_agreeable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e08_agreeable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

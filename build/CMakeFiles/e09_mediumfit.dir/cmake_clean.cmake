@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e09_mediumfit.dir/bench/e09_mediumfit.cpp.o"
+  "CMakeFiles/e09_mediumfit.dir/bench/e09_mediumfit.cpp.o.d"
+  "bench/e09_mediumfit"
+  "bench/e09_mediumfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e09_mediumfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e09_mediumfit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_agreeable_lower_bound.dir/bench/e10_agreeable_lower_bound.cpp.o"
+  "CMakeFiles/e10_agreeable_lower_bound.dir/bench/e10_agreeable_lower_bound.cpp.o.d"
+  "bench/e10_agreeable_lower_bound"
+  "bench/e10_agreeable_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_agreeable_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

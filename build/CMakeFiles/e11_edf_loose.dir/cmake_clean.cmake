@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_edf_loose.dir/bench/e11_edf_loose.cpp.o"
+  "CMakeFiles/e11_edf_loose.dir/bench/e11_edf_loose.cpp.o.d"
+  "bench/e11_edf_loose"
+  "bench/e11_edf_loose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_edf_loose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

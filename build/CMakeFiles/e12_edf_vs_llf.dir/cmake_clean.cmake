@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_edf_vs_llf.dir/bench/e12_edf_vs_llf.cpp.o"
+  "CMakeFiles/e12_edf_vs_llf.dir/bench/e12_edf_vs_llf.cpp.o.d"
+  "bench/e12_edf_vs_llf"
+  "bench/e12_edf_vs_llf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_edf_vs_llf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for e12_edf_vs_llf.
+# This may be replaced when dependencies are built.

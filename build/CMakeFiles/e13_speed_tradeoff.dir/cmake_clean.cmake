@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_speed_tradeoff.dir/bench/e13_speed_tradeoff.cpp.o"
+  "CMakeFiles/e13_speed_tradeoff.dir/bench/e13_speed_tradeoff.cpp.o.d"
+  "bench/e13_speed_tradeoff"
+  "bench/e13_speed_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_speed_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f01_figure1_schedule.dir/bench/f01_figure1_schedule.cpp.o"
+  "CMakeFiles/f01_figure1_schedule.dir/bench/f01_figure1_schedule.cpp.o.d"
+  "bench/f01_figure1_schedule"
+  "bench/f01_figure1_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f01_figure1_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agreeable_batch.dir/agreeable_batch.cpp.o"
+  "CMakeFiles/agreeable_batch.dir/agreeable_batch.cpp.o.d"
+  "agreeable_batch"
+  "agreeable_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agreeable_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

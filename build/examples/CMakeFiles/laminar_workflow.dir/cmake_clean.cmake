@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_workflow.dir/laminar_workflow.cpp.o"
+  "CMakeFiles/laminar_workflow.dir/laminar_workflow.cpp.o.d"
+  "laminar_workflow"
+  "laminar_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_admission.dir/realtime_admission.cpp.o"
+  "CMakeFiles/realtime_admission.dir/realtime_admission.cpp.o.d"
+  "realtime_admission"
+  "realtime_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

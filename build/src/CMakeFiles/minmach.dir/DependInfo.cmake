@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minmach/adversary/agreeable_lb.cpp" "src/CMakeFiles/minmach.dir/minmach/adversary/agreeable_lb.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/adversary/agreeable_lb.cpp.o.d"
+  "/root/repo/src/minmach/adversary/edf_lb.cpp" "src/CMakeFiles/minmach.dir/minmach/adversary/edf_lb.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/adversary/edf_lb.cpp.o.d"
+  "/root/repo/src/minmach/adversary/strong_lb.cpp" "src/CMakeFiles/minmach.dir/minmach/adversary/strong_lb.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/adversary/strong_lb.cpp.o.d"
+  "/root/repo/src/minmach/algos/agreeable.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/agreeable.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/agreeable.cpp.o.d"
+  "/root/repo/src/minmach/algos/edf.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/edf.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/edf.cpp.o.d"
+  "/root/repo/src/minmach/algos/laminar.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/laminar.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/laminar.cpp.o.d"
+  "/root/repo/src/minmach/algos/llf.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/llf.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/llf.cpp.o.d"
+  "/root/repo/src/minmach/algos/loose.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/loose.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/loose.cpp.o.d"
+  "/root/repo/src/minmach/algos/mediumfit.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/mediumfit.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/mediumfit.cpp.o.d"
+  "/root/repo/src/minmach/algos/nonmig.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/nonmig.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/nonmig.cpp.o.d"
+  "/root/repo/src/minmach/algos/nonpreemptive.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/nonpreemptive.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/nonpreemptive.cpp.o.d"
+  "/root/repo/src/minmach/algos/reservation.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/reservation.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/reservation.cpp.o.d"
+  "/root/repo/src/minmach/algos/scale_class.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/scale_class.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/scale_class.cpp.o.d"
+  "/root/repo/src/minmach/algos/single_machine.cpp" "src/CMakeFiles/minmach.dir/minmach/algos/single_machine.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/algos/single_machine.cpp.o.d"
+  "/root/repo/src/minmach/core/contribution.cpp" "src/CMakeFiles/minmach.dir/minmach/core/contribution.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/core/contribution.cpp.o.d"
+  "/root/repo/src/minmach/core/instance.cpp" "src/CMakeFiles/minmach.dir/minmach/core/instance.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/core/instance.cpp.o.d"
+  "/root/repo/src/minmach/core/schedule.cpp" "src/CMakeFiles/minmach.dir/minmach/core/schedule.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/core/schedule.cpp.o.d"
+  "/root/repo/src/minmach/core/transforms.cpp" "src/CMakeFiles/minmach.dir/minmach/core/transforms.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/core/transforms.cpp.o.d"
+  "/root/repo/src/minmach/core/validate.cpp" "src/CMakeFiles/minmach.dir/minmach/core/validate.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/core/validate.cpp.o.d"
+  "/root/repo/src/minmach/flow/feasibility.cpp" "src/CMakeFiles/minmach.dir/minmach/flow/feasibility.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/flow/feasibility.cpp.o.d"
+  "/root/repo/src/minmach/gen/generators.cpp" "src/CMakeFiles/minmach.dir/minmach/gen/generators.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/gen/generators.cpp.o.d"
+  "/root/repo/src/minmach/io/gantt.cpp" "src/CMakeFiles/minmach.dir/minmach/io/gantt.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/io/gantt.cpp.o.d"
+  "/root/repo/src/minmach/io/serialize.cpp" "src/CMakeFiles/minmach.dir/minmach/io/serialize.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/io/serialize.cpp.o.d"
+  "/root/repo/src/minmach/offline/kp_transform.cpp" "src/CMakeFiles/minmach.dir/minmach/offline/kp_transform.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/offline/kp_transform.cpp.o.d"
+  "/root/repo/src/minmach/sim/engine.cpp" "src/CMakeFiles/minmach.dir/minmach/sim/engine.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/sim/engine.cpp.o.d"
+  "/root/repo/src/minmach/util/bigint.cpp" "src/CMakeFiles/minmach.dir/minmach/util/bigint.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/util/bigint.cpp.o.d"
+  "/root/repo/src/minmach/util/cli.cpp" "src/CMakeFiles/minmach.dir/minmach/util/cli.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/util/cli.cpp.o.d"
+  "/root/repo/src/minmach/util/interval_set.cpp" "src/CMakeFiles/minmach.dir/minmach/util/interval_set.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/util/interval_set.cpp.o.d"
+  "/root/repo/src/minmach/util/rational.cpp" "src/CMakeFiles/minmach.dir/minmach/util/rational.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/util/rational.cpp.o.d"
+  "/root/repo/src/minmach/util/rng.cpp" "src/CMakeFiles/minmach.dir/minmach/util/rng.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/util/rng.cpp.o.d"
+  "/root/repo/src/minmach/util/table.cpp" "src/CMakeFiles/minmach.dir/minmach/util/table.cpp.o" "gcc" "src/CMakeFiles/minmach.dir/minmach/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agreeable.dir/test_agreeable.cpp.o"
+  "CMakeFiles/test_agreeable.dir/test_agreeable.cpp.o.d"
+  "test_agreeable"
+  "test_agreeable.pdb"
+  "test_agreeable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agreeable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agreeable_lb.dir/test_agreeable_lb.cpp.o"
+  "CMakeFiles/test_agreeable_lb.dir/test_agreeable_lb.cpp.o.d"
+  "test_agreeable_lb"
+  "test_agreeable_lb.pdb"
+  "test_agreeable_lb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agreeable_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

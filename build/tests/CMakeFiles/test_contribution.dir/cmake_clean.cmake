@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contribution.dir/test_contribution.cpp.o"
+  "CMakeFiles/test_contribution.dir/test_contribution.cpp.o.d"
+  "test_contribution"
+  "test_contribution.pdb"
+  "test_contribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edf_lb.dir/test_edf_lb.cpp.o"
+  "CMakeFiles/test_edf_lb.dir/test_edf_lb.cpp.o.d"
+  "test_edf_lb"
+  "test_edf_lb.pdb"
+  "test_edf_lb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edf_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

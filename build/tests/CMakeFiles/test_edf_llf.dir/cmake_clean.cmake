@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edf_llf.dir/test_edf_llf.cpp.o"
+  "CMakeFiles/test_edf_llf.dir/test_edf_llf.cpp.o.d"
+  "test_edf_llf"
+  "test_edf_llf.pdb"
+  "test_edf_llf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edf_llf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

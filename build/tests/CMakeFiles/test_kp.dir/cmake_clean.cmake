@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kp.dir/test_kp.cpp.o"
+  "CMakeFiles/test_kp.dir/test_kp.cpp.o.d"
+  "test_kp"
+  "test_kp.pdb"
+  "test_kp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

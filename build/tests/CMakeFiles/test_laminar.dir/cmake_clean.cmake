@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_laminar.dir/test_laminar.cpp.o"
+  "CMakeFiles/test_laminar.dir/test_laminar.cpp.o.d"
+  "test_laminar"
+  "test_laminar.pdb"
+  "test_laminar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_laminar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

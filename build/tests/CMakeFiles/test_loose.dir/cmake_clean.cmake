@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loose.dir/test_loose.cpp.o"
+  "CMakeFiles/test_loose.dir/test_loose.cpp.o.d"
+  "test_loose"
+  "test_loose.pdb"
+  "test_loose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

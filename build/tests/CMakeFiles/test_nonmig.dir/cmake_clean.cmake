@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonmig.dir/test_nonmig.cpp.o"
+  "CMakeFiles/test_nonmig.dir/test_nonmig.cpp.o.d"
+  "test_nonmig"
+  "test_nonmig.pdb"
+  "test_nonmig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonmig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

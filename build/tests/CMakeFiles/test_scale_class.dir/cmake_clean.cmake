@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_class.dir/test_scale_class.cpp.o"
+  "CMakeFiles/test_scale_class.dir/test_scale_class.cpp.o.d"
+  "test_scale_class"
+  "test_scale_class.pdb"
+  "test_scale_class[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

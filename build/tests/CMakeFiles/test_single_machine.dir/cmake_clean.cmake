@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single_machine.dir/test_single_machine.cpp.o"
+  "CMakeFiles/test_single_machine.dir/test_single_machine.cpp.o.d"
+  "test_single_machine"
+  "test_single_machine.pdb"
+  "test_single_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

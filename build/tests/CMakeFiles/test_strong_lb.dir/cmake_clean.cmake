@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strong_lb.dir/test_strong_lb.cpp.o"
+  "CMakeFiles/test_strong_lb.dir/test_strong_lb.cpp.o.d"
+  "test_strong_lb"
+  "test_strong_lb.pdb"
+  "test_strong_lb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strong_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bigint[1]_include.cmake")
+include("/root/repo/build/tests/test_rational[1]_include.cmake")
+include("/root/repo/build/tests/test_interval_set[1]_include.cmake")
+include("/root/repo/build/tests/test_instance[1]_include.cmake")
+include("/root/repo/build/tests/test_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_contribution[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_single_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_edf_llf[1]_include.cmake")
+include("/root/repo/build/tests/test_nonmig[1]_include.cmake")
+include("/root/repo/build/tests/test_reservation[1]_include.cmake")
+include("/root/repo/build/tests/test_loose[1]_include.cmake")
+include("/root/repo/build/tests/test_laminar[1]_include.cmake")
+include("/root/repo/build/tests/test_agreeable[1]_include.cmake")
+include("/root/repo/build/tests/test_kp[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_strong_lb[1]_include.cmake")
+include("/root/repo/build/tests/test_agreeable_lb[1]_include.cmake")
+include("/root/repo/build/tests/test_edf_lb[1]_include.cmake")
+include("/root/repo/build/tests/test_witness[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_scale_class[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
