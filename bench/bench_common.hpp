@@ -1,11 +1,18 @@
-// Shared scaffolding for the experiment drivers: a uniform header block and
-// a hard-failure helper (a violated invariant makes the binary exit
-// non-zero so CI catches regressions in the reproduced results).
+// Shared scaffolding for the experiment drivers: a uniform header block, a
+// hard-failure helper (a violated invariant makes the binary exit non-zero
+// so CI catches regressions in the reproduced results), and a deterministic
+// parallel-map used by the embarrassingly-parallel sweep drivers.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace minmach::bench {
 
@@ -22,6 +29,63 @@ inline void require(bool condition, const std::string& message) {
     std::cerr << "EXPERIMENT INVARIANT VIOLATED: " << message << "\n";
     std::exit(1);
   }
+}
+
+// Resolves a --threads flag value: <= 0 means "use all cores", and there is
+// never a point in more workers than tasks.
+inline std::size_t resolve_threads(std::int64_t requested,
+                                   std::size_t task_count) {
+  std::size_t threads = requested > 0
+                            ? static_cast<std::size_t>(requested)
+                            : std::max(1u, std::thread::hardware_concurrency());
+  return std::min(threads, std::max<std::size_t>(1, task_count));
+}
+
+// Runs fn(0), ..., fn(task_count - 1) on `threads` workers and returns the
+// results ordered by task index. Determinism contract: each task must be
+// self-contained (seed its own Rng, no shared mutable state), so the result
+// vector -- and therefore any table printed from it in index order -- is
+// byte-identical regardless of thread count. Workers pull tasks from a
+// shared atomic counter (no partitioning skew); exceptions are captured per
+// task and the first one (in task order) is rethrown on the caller's thread.
+// Tasks must not call require()/std::exit -- return the verdict and let the
+// caller aggregate.
+template <typename Fn>
+auto parallel_map(std::size_t task_count, std::size_t threads, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::vector<Result> results(task_count);
+  std::vector<std::exception_ptr> errors(task_count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < task_count; ++i) {
+      try {
+        results[i] = fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      while (true) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= task_count) return;
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
 }
 
 }  // namespace minmach::bench

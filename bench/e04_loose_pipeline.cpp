@@ -3,6 +3,7 @@
 // run the speed-s black box, replay at unit speed). The competitive ratio
 // (machines / migratory OPT) must stay flat as n and m grow.
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "minmach/algos/loose.hpp"
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace minmach;
   Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
+  const std::int64_t threads_flag = cli.get_int("threads", 0);
   cli.check_unknown();
 
   bench::print_header(
@@ -34,32 +36,52 @@ int main(int argc, char** argv) {
       {Rat(2, 5), Rat(2)},
       {Rat(1, 2), Rat(3, 2)},
   };
+  const std::size_t setting_count = std::size(settings);
+
+  // One task per (alpha, s) setting: each seeds its own Rng, so the rows it
+  // returns are independent of how tasks are interleaved across threads.
+  struct SettingResult {
+    std::vector<std::vector<std::string>> rows;
+    double worst_ratio = 0;
+    std::string failure;
+  };
+  auto results = bench::parallel_map(
+      setting_count, bench::resolve_threads(threads_flag, setting_count),
+      [&](std::size_t index) {
+        const Setting& setting = settings[index];
+        SettingResult out;
+        Rng rng(seed);
+        for (std::size_t n : {30u, 60u, 120u, 240u}) {
+          GenConfig config;
+          config.n = n;
+          config.horizon = static_cast<std::int64_t>(n);  // density grows m with n
+          Instance in = gen_loose(rng, config, setting.alpha);
+          std::int64_t m = optimal_migratory_machines(in);
+          if (m < 1) continue;
+          LooseRun run = schedule_loose_jobs(in, setting.alpha, setting.s);
+          ValidateOptions options;
+          options.require_non_migratory = true;
+          auto audit = validate(in, run.schedule, options);
+          if (!audit.ok && out.failure.empty())
+            out.failure = "pipeline schedule invalid: " + audit.summary();
+          double ratio = static_cast<double>(run.machines_used) /
+                         static_cast<double>(m);
+          out.worst_ratio = std::max(out.worst_ratio, ratio);
+          out.rows.push_back({setting.alpha.to_string(), setting.s.to_string(),
+                              std::to_string(n), std::to_string(m),
+                              std::to_string(run.machines_used),
+                              Table::fmt(ratio, 3)});
+        }
+        return out;
+      });
 
   Table table({"alpha", "s", "n", "m (OPT)", "pipeline machines",
                "machines/m"});
   double worst_ratio = 0;
-  for (const Setting& setting : settings) {
-    Rng rng(seed);
-    for (std::size_t n : {30u, 60u, 120u, 240u}) {
-      GenConfig config;
-      config.n = n;
-      config.horizon = static_cast<std::int64_t>(n);  // density grows m with n
-      Instance in = gen_loose(rng, config, setting.alpha);
-      std::int64_t m = optimal_migratory_machines(in);
-      if (m < 1) continue;
-      LooseRun run = schedule_loose_jobs(in, setting.alpha, setting.s);
-      ValidateOptions options;
-      options.require_non_migratory = true;
-      auto audit = validate(in, run.schedule, options);
-      bench::require(audit.ok, "pipeline schedule invalid: " +
-                                   audit.summary());
-      double ratio = static_cast<double>(run.machines_used) /
-                     static_cast<double>(m);
-      worst_ratio = std::max(worst_ratio, ratio);
-      table.add_row({setting.alpha.to_string(), setting.s.to_string(),
-                     std::to_string(n), std::to_string(m),
-                     std::to_string(run.machines_used), Table::fmt(ratio, 3)});
-    }
+  for (const SettingResult& result : results) {
+    bench::require(result.failure.empty(), result.failure);
+    for (const auto& row : result.rows) table.add_row(row);
+    worst_ratio = std::max(worst_ratio, result.worst_ratio);
   }
   table.print(std::cout);
   std::cout << "\nworst observed competitive ratio: "

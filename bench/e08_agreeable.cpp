@@ -4,6 +4,7 @@
 // 1/(1-a)^2 + 16/a with its optimum near alpha ~ 0.63.
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "minmach/algos/agreeable.hpp"
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
   const std::int64_t trials = cli.get_int("trials", 4);
+  const std::int64_t threads_flag = cli.get_int("threads", 0);
   cli.check_unknown();
 
   bench::print_header(
@@ -26,48 +28,70 @@ int main(int argc, char** argv) {
       "non-preemptive online schedule on m/(1-a)^2 + 16m/a <= 32.70 m "
       "machines; optimum near alpha ~ 0.63");
 
+  const Rat alphas[] = {Rat(3, 10), Rat(45, 100), Rat(55, 100),
+                        Rat(63, 100), Rat(7, 10), Rat(4, 5)};
+  const std::size_t alpha_count = std::size(alphas);
+
+  // One task per alpha; each seeds its own Rng so rows are identical at any
+  // thread count.
+  struct AlphaResult {
+    std::vector<std::string> row;
+    bool all_nonpreemptive = true;
+    bool within_bound = true;
+  };
+  auto results = bench::parallel_map(
+      alpha_count, bench::resolve_threads(threads_flag, alpha_count),
+      [&](std::size_t index) {
+        const Rat& alpha = alphas[index];
+        Rng rng(seed);
+        GenConfig config;
+        config.n = 80;
+        double sum_ratio = 0;
+        double sum_loose = 0;
+        double sum_tight = 0;
+        AlphaResult out;
+        for (std::int64_t trial = 0; trial < trials; ++trial) {
+          Instance in = gen_agreeable(rng, config);
+          std::int64_t m = std::max<std::int64_t>(
+              1, optimal_migratory_machines(in));
+          AgreeableRun run = schedule_agreeable(in, m, alpha);
+          ValidateOptions options;
+          options.require_non_migratory = true;
+          options.require_non_preemptive = true;
+          auto audit = validate(in, run.schedule, options);
+          if (!audit.ok) out.all_nonpreemptive = false;
+          sum_ratio += static_cast<double>(run.machines_total) /
+                       static_cast<double>(m);
+          sum_loose += static_cast<double>(run.machines_loose);
+          sum_tight += static_cast<double>(run.machines_tight);
+          if (run.machines_total > static_cast<std::size_t>(33 * m))
+            out.within_bound = false;
+        }
+        double a = alpha.to_double();
+        double bound = 1.0 / ((1 - a) * (1 - a)) + 16.0 / a;
+        double t = static_cast<double>(trials);
+        out.row = {alpha.to_string(), Table::fmt(bound, 2),
+                   Table::fmt(sum_ratio / t, 2), Table::fmt(sum_loose / t, 1),
+                   Table::fmt(sum_tight / t, 1),
+                   out.all_nonpreemptive ? "yes" : "NO"};
+        return out;
+      });
+
   Table table({"alpha", "paper bound/m", "measured/m avg", "loose pool avg",
                "tight pool avg", "non-preemptive"});
   double best_bound = 1e18;
   Rat best_alpha(0);
-  for (const Rat& alpha : {Rat(3, 10), Rat(45, 100), Rat(55, 100),
-                           Rat(63, 100), Rat(7, 10), Rat(4, 5)}) {
-    Rng rng(seed);
-    GenConfig config;
-    config.n = 80;
-    double sum_ratio = 0;
-    double sum_loose = 0;
-    double sum_tight = 0;
-    bool all_nonpreemptive = true;
-    for (std::int64_t trial = 0; trial < trials; ++trial) {
-      Instance in = gen_agreeable(rng, config);
-      std::int64_t m = std::max<std::int64_t>(
-          1, optimal_migratory_machines(in));
-      AgreeableRun run = schedule_agreeable(in, m, alpha);
-      ValidateOptions options;
-      options.require_non_migratory = true;
-      options.require_non_preemptive = true;
-      auto audit = validate(in, run.schedule, options);
-      if (!audit.ok) all_nonpreemptive = false;
-      sum_ratio += static_cast<double>(run.machines_total) /
-                   static_cast<double>(m);
-      sum_loose += static_cast<double>(run.machines_loose);
-      sum_tight += static_cast<double>(run.machines_tight);
-      bench::require(run.machines_total <= static_cast<std::size_t>(33 * m),
-                     "exceeded the 32.70m bound");
-    }
-    double a = alpha.to_double();
+  for (std::size_t index = 0; index < alpha_count; ++index) {
+    const AlphaResult& result = results[index];
+    bench::require(result.within_bound, "exceeded the 32.70m bound");
+    double a = alphas[index].to_double();
     double bound = 1.0 / ((1 - a) * (1 - a)) + 16.0 / a;
     if (bound < best_bound) {
       best_bound = bound;
-      best_alpha = alpha;
+      best_alpha = alphas[index];
     }
-    double t = static_cast<double>(trials);
-    table.add_row({alpha.to_string(), Table::fmt(bound, 2),
-                   Table::fmt(sum_ratio / t, 2), Table::fmt(sum_loose / t, 1),
-                   Table::fmt(sum_tight / t, 1),
-                   all_nonpreemptive ? "yes" : "NO"});
-    bench::require(all_nonpreemptive,
+    table.add_row(result.row);
+    bench::require(result.all_nonpreemptive,
                    "schedule was preemptive or migratory");
   }
   table.print(std::cout);

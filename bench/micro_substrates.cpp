@@ -17,6 +17,61 @@ namespace {
 
 using namespace minmach;
 
+// Small-tier fast paths: operands fit int64, so these stay entirely on the
+// inline representation (no allocation). The ISSUE acceptance bar is >= 5x
+// over the seed's always-limb implementation.
+void BM_BigIntSmallAdd(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<BigInt> values;
+  for (int i = 0; i < 64; ++i)
+    values.emplace_back(rng.uniform_int(-1000000, 1000000));
+  for (auto _ : state) {
+    BigInt sum(0);
+    for (const auto& v : values) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BigIntSmallAdd);
+
+void BM_BigIntSmallMultiply(benchmark::State& state) {
+  BigInt a(123456789);
+  BigInt b(987654321);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntSmallMultiply);
+
+void BM_RatSmallAdd(benchmark::State& state) {
+  Rng rng(12);
+  std::vector<Rat> values;
+  for (int i = 0; i < 64; ++i)
+    values.emplace_back(rng.uniform_int(-1000, 1000),
+                        rng.uniform_int(1, 997));
+  for (auto _ : state) {
+    Rat sum(0);
+    for (const auto& v : values) sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_RatSmallAdd);
+
+void BM_RatSmallMultiply(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<Rat> values;
+  for (int i = 0; i < 64; ++i)
+    values.emplace_back(rng.uniform_int(1, 1000), rng.uniform_int(1, 997));
+  for (auto _ : state) {
+    Rat product(1);
+    for (const auto& v : values) {
+      product *= v;
+      if (product > Rat(1000000)) product = Rat(1, 1000000);
+    }
+    benchmark::DoNotOptimize(product);
+  }
+}
+BENCHMARK(BM_RatSmallMultiply);
+
 void BM_BigIntMultiply(benchmark::State& state) {
   Rng rng(1);
   BigInt a(1);
@@ -72,6 +127,38 @@ void BM_FlowOptimalMachines(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_FlowOptimalMachines)->Arg(20)->Arg(40)->Arg(80)->Complexity();
+
+// The pre-oracle strategy: every probe of the binary search rebuilds the
+// Horn network from scratch via the one-shot feasible_migratory entry
+// point. Kept as the baseline the incremental FeasibilityOracle (used by
+// BM_FlowOptimalMachines above) is measured against; the acceptance bar is
+// >= 2x on the full OPT search.
+void BM_FlowOptimalMachinesRebuild(benchmark::State& state) {
+  Rng rng(4);
+  GenConfig config;
+  config.n = static_cast<std::size_t>(state.range(0));
+  Instance in = gen_general(rng, config);
+  const auto n = static_cast<std::int64_t>(in.jobs().size());
+  for (auto _ : state) {
+    std::int64_t lo = 1;
+    std::int64_t hi = n;
+    while (lo < hi) {
+      std::int64_t mid = lo + (hi - lo) / 2;
+      if (feasible_migratory(in, mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    benchmark::DoNotOptimize(lo);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlowOptimalMachinesRebuild)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(80)
+    ->Complexity();
 
 void BM_SingleMachineAdmission(benchmark::State& state) {
   Rng rng(5);

@@ -26,11 +26,31 @@ class Dinic {
     if (from >= node_count() || to >= node_count())
       throw std::out_of_range("Dinic: node out of range");
     std::size_t handle = edges_.size();
-    edges_.push_back({to, std::move(capacity), false});
+    edges_.push_back({to, capacity, false});
     edges_.push_back({from, Cap(0), true});
+    initial_.push_back(std::move(capacity));
+    initial_.push_back(Cap(0));
     adjacency_[from].push_back(handle);
     adjacency_[to].push_back(handle + 1);
     return handle;
+  }
+
+  // Discards all routed flow, restoring every edge to its initial capacity.
+  // Together with set_capacity() this lets one network answer a whole
+  // binary search (only capacities change between probes) instead of being
+  // rebuilt per probe.
+  void reset_flow() {
+    for (std::size_t i = 0; i < edges_.size(); ++i)
+      edges_[i].capacity = initial_[i];
+  }
+
+  // Replaces the capacity of the edge returned by add_edge. Any flow on the
+  // edge is discarded, so call reset_flow() before re-running max_flow().
+  void set_capacity(std::size_t handle, Cap capacity) {
+    edges_[handle].capacity = capacity;
+    edges_[handle + 1].capacity = Cap(0);
+    initial_[handle] = std::move(capacity);
+    initial_[handle + 1] = Cap(0);
   }
 
   Cap max_flow(std::size_t source, std::size_t sink) {
@@ -100,6 +120,7 @@ class Dinic {
 
   std::vector<std::vector<std::size_t>> adjacency_;
   std::vector<Edge> edges_;
+  std::vector<Cap> initial_;  // capacity of each edge as added / last set
   std::vector<int> level_;
   std::vector<std::size_t> next_edge_;
 };

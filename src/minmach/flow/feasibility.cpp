@@ -47,37 +47,6 @@ IntegerGrid try_integer_grid(const Instance& instance) {
   return grid;
 }
 
-bool feasible_integer(const IntegerGrid& grid, std::int64_t machines) {
-  const std::size_t n = grid.release.size();
-  std::vector<std::int64_t> points;
-  points.reserve(2 * n);
-  points.insert(points.end(), grid.release.begin(), grid.release.end());
-  points.insert(points.end(), grid.deadline.begin(), grid.deadline.end());
-  std::sort(points.begin(), points.end());
-  points.erase(std::unique(points.begin(), points.end()), points.end());
-  const std::size_t segments = points.empty() ? 0 : points.size() - 1;
-
-  Dinic<__int128> graph(n + segments + 2);
-  const std::size_t source = 0;
-  const std::size_t sink = n + segments + 1;
-  __int128 total_work = 0;
-  for (std::size_t k = 0; k < segments; ++k) {
-    __int128 length = points[k + 1] - points[k];
-    graph.add_edge(n + 1 + k, sink, static_cast<__int128>(machines) * length);
-  }
-  for (std::size_t j = 0; j < n; ++j) {
-    total_work += grid.processing[j];
-    graph.add_edge(source, 1 + j, grid.processing[j]);
-    for (std::size_t k = 0; k < segments; ++k) {
-      if (grid.release[j] <= points[k] &&
-          points[k + 1] <= grid.deadline[j]) {
-        graph.add_edge(1 + j, n + 1 + k, points[k + 1] - points[k]);
-      }
-    }
-  }
-  return graph.max_flow(source, sink) == total_work;
-}
-
 struct Network {
   Dinic<Rat> graph;
   std::vector<Rat> points;
@@ -123,14 +92,175 @@ Network build_network(const Instance& instance, std::int64_t machines) {
 
 }  // namespace
 
+// ---- incremental oracle ------------------------------------------------
+
+struct FeasibilityOracle::Impl {
+  bool empty = false;
+  bool well_formed = true;
+  bool integer_mode = false;
+  std::int64_t job_count = 0;
+  std::int64_t load_lb = 1;
+
+  // Monotone verdict memo: feasible for all m >= min_feasible, infeasible
+  // for all m <= max_infeasible.
+  std::int64_t min_feasible = 0;
+  std::int64_t max_infeasible = 0;
+
+  std::size_t source = 0;
+  std::size_t sink = 0;
+
+  // Integer-grid network (fast path).
+  Dinic<__int128> igraph{2};
+  std::vector<std::int64_t> iseg_length;
+  std::vector<std::size_t> isink_handle;
+  __int128 itotal_work = 0;
+
+  // Exact rational network (adversarial denominators).
+  Dinic<Rat> rgraph{2};
+  std::vector<Rat> rseg_length;
+  std::vector<std::size_t> rsink_handle;
+  Rat rtotal_work;
+
+  bool probe(std::int64_t machines);
+};
+
+FeasibilityOracle::FeasibilityOracle(const Instance& instance)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.empty = instance.empty();
+  if (im.empty) return;
+  im.well_formed = instance.well_formed();
+  if (!im.well_formed) return;
+  im.job_count = static_cast<std::int64_t>(instance.size());
+  // Each job alone on a machine is feasible (p_j <= d_j - r_j), so n
+  // machines always suffice.
+  im.min_feasible = im.job_count;
+
+  std::vector<Rat> points = instance.event_points();
+  const Rat span = points.back() - points.front();
+  if (span.is_positive()) {
+    const Rat density = instance.total_work() / span;
+    im.load_lb = std::max<std::int64_t>(1, density.ceil().to_int64());
+  }
+
+  const std::size_t n = instance.size();
+  const std::size_t segments = points.empty() ? 0 : points.size() - 1;
+  im.source = 0;
+  im.sink = n + segments + 1;
+
+  if (IntegerGrid grid = try_integer_grid(instance); grid.usable) {
+    im.integer_mode = true;
+    std::vector<std::int64_t> ipoints;
+    ipoints.reserve(2 * n);
+    ipoints.insert(ipoints.end(), grid.release.begin(), grid.release.end());
+    ipoints.insert(ipoints.end(), grid.deadline.begin(), grid.deadline.end());
+    std::sort(ipoints.begin(), ipoints.end());
+    ipoints.erase(std::unique(ipoints.begin(), ipoints.end()), ipoints.end());
+    const std::size_t isegments = ipoints.empty() ? 0 : ipoints.size() - 1;
+    im.sink = n + isegments + 1;
+    im.igraph = Dinic<__int128>(n + isegments + 2);
+    // Sink capacities start at 0; feasible() retunes them to m * |segment|.
+    for (std::size_t k = 0; k < isegments; ++k) {
+      im.iseg_length.push_back(ipoints[k + 1] - ipoints[k]);
+      im.isink_handle.push_back(
+          im.igraph.add_edge(n + 1 + k, im.sink, __int128{0}));
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      im.itotal_work += grid.processing[j];
+      im.igraph.add_edge(im.source, 1 + j, grid.processing[j]);
+      for (std::size_t k = 0; k < isegments; ++k) {
+        if (grid.release[j] <= ipoints[k] &&
+            ipoints[k + 1] <= grid.deadline[j]) {
+          im.igraph.add_edge(1 + j, n + 1 + k, ipoints[k + 1] - ipoints[k]);
+        }
+      }
+    }
+    return;
+  }
+
+  im.rgraph = Dinic<Rat>(n + segments + 2);
+  for (std::size_t k = 0; k < segments; ++k) {
+    im.rseg_length.push_back(points[k + 1] - points[k]);
+    im.rsink_handle.push_back(im.rgraph.add_edge(n + 1 + k, im.sink, Rat(0)));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const Job& job = instance.job(j);
+    im.rtotal_work += job.processing;
+    im.rgraph.add_edge(im.source, 1 + j, job.processing);
+    for (std::size_t k = 0; k < segments; ++k) {
+      if (job.release <= points[k] && points[k + 1] <= job.deadline) {
+        im.rgraph.add_edge(1 + j, n + 1 + k, im.rseg_length[k]);
+      }
+    }
+  }
+}
+
+FeasibilityOracle::~FeasibilityOracle() = default;
+FeasibilityOracle::FeasibilityOracle(FeasibilityOracle&&) noexcept = default;
+FeasibilityOracle& FeasibilityOracle::operator=(FeasibilityOracle&&) noexcept =
+    default;
+
+bool FeasibilityOracle::Impl::probe(std::int64_t machines) {
+  if (integer_mode) {
+    for (std::size_t k = 0; k < isink_handle.size(); ++k) {
+      igraph.set_capacity(isink_handle[k],
+                          static_cast<__int128>(machines) * iseg_length[k]);
+    }
+    igraph.reset_flow();
+    return igraph.max_flow(source, sink) == itotal_work;
+  }
+  const Rat m_rat(machines);
+  for (std::size_t k = 0; k < rsink_handle.size(); ++k) {
+    rgraph.set_capacity(rsink_handle[k], m_rat * rseg_length[k]);
+  }
+  rgraph.reset_flow();
+  return rgraph.max_flow(source, sink) == rtotal_work;
+}
+
+bool FeasibilityOracle::feasible(std::int64_t machines) {
+  Impl& im = *impl_;
+  if (im.empty) return true;
+  if (machines <= 0 || !im.well_formed) return false;
+  if (machines >= im.min_feasible) return true;
+  if (machines <= im.max_infeasible) return false;
+  if (im.probe(machines)) {
+    im.min_feasible = machines;
+    return true;
+  }
+  im.max_infeasible = machines;
+  return false;
+}
+
+std::int64_t FeasibilityOracle::load_lower_bound() const {
+  return impl_->empty ? 0 : impl_->load_lb;
+}
+
+std::int64_t FeasibilityOracle::optimal_machines() {
+  Impl& im = *impl_;
+  if (im.empty) return 0;
+  if (!im.well_formed)
+    throw std::invalid_argument("FeasibilityOracle: malformed instance");
+  // Gallop from the load lower bound until feasible (n always is), then
+  // binary-search the bracket; feasible() keeps the bracket in its memo.
+  std::int64_t m = std::max<std::int64_t>(im.max_infeasible + 1, im.load_lb);
+  while (m < im.job_count && !feasible(m)) {
+    m = std::min<std::int64_t>(im.job_count, 2 * m);
+  }
+  if (m >= im.job_count) (void)feasible(m);  // records the memo endpoint
+  while (im.max_infeasible + 1 < im.min_feasible) {
+    std::int64_t mid =
+        im.max_infeasible + (im.min_feasible - im.max_infeasible) / 2;
+    (void)feasible(mid);
+  }
+  return im.min_feasible;
+}
+
 bool feasible_migratory(const Instance& instance, std::int64_t machines) {
   if (instance.empty()) return true;
   if (machines <= 0) return false;
   if (!instance.well_formed()) return false;
-  if (IntegerGrid grid = try_integer_grid(instance); grid.usable)
-    return feasible_integer(grid, machines);
-  Network net = build_network(instance, machines);
-  return net.graph.max_flow(net.source, net.sink) == net.total_work;
+  FeasibilityOracle oracle(instance);
+  return oracle.feasible(machines);
 }
 
 std::optional<FlowAllocation> solve_migratory(const Instance& instance,
@@ -159,19 +289,8 @@ std::int64_t optimal_migratory_machines(const Instance& instance) {
   if (!instance.well_formed())
     throw std::invalid_argument(
         "optimal_migratory_machines: malformed instance");
-  std::int64_t lo = 1;
-  std::int64_t hi = static_cast<std::int64_t>(instance.size());
-  // feasible_migratory is monotone in m and always true at m = n (each job
-  // alone on a machine, p_j <= d_j - r_j).
-  while (lo < hi) {
-    std::int64_t mid = lo + (hi - lo) / 2;
-    if (feasible_migratory(instance, mid)) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return lo;
+  FeasibilityOracle oracle(instance);
+  return oracle.optimal_machines();
 }
 
 Schedule optimal_migratory_schedule(const Instance& instance,

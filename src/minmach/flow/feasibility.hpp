@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -23,8 +24,43 @@ struct FlowAllocation {
   std::vector<std::vector<Rat>> per_job;
 };
 
+// Reusable per-instance feasibility oracle. The Horn network depends on the
+// machine count only through the segment->sink capacities machines*|segment|,
+// so the oracle normalizes the instance (integer grid when denominators
+// allow, exact rationals otherwise) and builds the network ONCE; each probe
+// retunes the sink capacities and resets the flow instead of reconstructing
+// the graph. Verdicts are memoized and feasible(m) is monotone in m, so a
+// binary search over m costs one network build plus one max-flow per
+// *informative* probe.
+class FeasibilityOracle {
+ public:
+  explicit FeasibilityOracle(const Instance& instance);
+  ~FeasibilityOracle();
+  FeasibilityOracle(FeasibilityOracle&&) noexcept;
+  FeasibilityOracle& operator=(FeasibilityOracle&&) noexcept;
+
+  // True iff the instance is feasible on `machines` migratory machines.
+  // Memoized; probes the network only for verdicts not implied by
+  // monotonicity.
+  [[nodiscard]] bool feasible(std::int64_t machines);
+
+  // Exact migratory OPT: gallops up from load_lower_bound() to bracket the
+  // optimum, then binary-searches the bracket. Returns 0 for the empty
+  // instance; throws std::invalid_argument on a malformed one.
+  [[nodiscard]] std::int64_t optimal_machines();
+
+  // ceil(total work / time span): a valid lower bound on OPT (>= 1 for a
+  // non-empty instance), and the galloping search's starting point.
+  [[nodiscard]] std::int64_t load_lower_bound() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 // True iff the instance admits a feasible preemptive migratory schedule on
-// `machines` unit-speed machines.
+// `machines` unit-speed machines. One-shot; for repeated probes of the same
+// instance use FeasibilityOracle.
 [[nodiscard]] bool feasible_migratory(const Instance& instance,
                                       std::int64_t machines);
 
@@ -32,8 +68,8 @@ struct FlowAllocation {
 [[nodiscard]] std::optional<FlowAllocation> solve_migratory(
     const Instance& instance, std::int64_t machines);
 
-// Exact minimum machine count (binary search over feasible_migratory).
-// Returns 0 for the empty instance.
+// Exact minimum machine count (galloping + binary search through a shared
+// FeasibilityOracle). Returns 0 for the empty instance.
 [[nodiscard]] std::int64_t optimal_migratory_machines(const Instance& instance);
 
 // Builds a concrete feasible migratory schedule on `machines` machines

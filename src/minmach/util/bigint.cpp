@@ -1,30 +1,289 @@
 #include "minmach/util/bigint.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 namespace minmach {
 
 namespace {
 
-constexpr std::uint64_t kLimbBase = 1ull << 32;
+using Limb = std::uint64_t;
+using WideLimb = unsigned __int128;
+
+constexpr WideLimb kLimbBase = static_cast<WideLimb>(1) << 64;
+
+std::uint64_t magnitude_of(std::int64_t value) {
+  // Negate in unsigned space so INT64_MIN does not overflow.
+  return value < 0 ? ~static_cast<std::uint64_t>(value) + 1
+                   : static_cast<std::uint64_t>(value);
+}
+
+void trim_mag(std::vector<Limb>& mag) {
+  while (!mag.empty() && mag.back() == 0) mag.pop_back();
+}
+
+int compare_mag(const Limb* a, std::size_t na, const Limb* b, std::size_t nb) {
+  if (na != nb) return na < nb ? -1 : 1;
+  for (std::size_t i = na; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<Limb> add_mag(const Limb* a, std::size_t na, const Limb* b,
+                          std::size_t nb) {
+  if (na < nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  std::vector<Limb> out;
+  out.reserve(na + 1);
+  unsigned carry = 0;
+  for (std::size_t i = 0; i < na; ++i) {
+    Limb sum;
+    unsigned c1 = __builtin_add_overflow(a[i], i < nb ? b[i] : 0, &sum);
+    unsigned c2 = __builtin_add_overflow(sum, static_cast<Limb>(carry), &sum);
+    carry = c1 | c2;
+    out.push_back(sum);
+  }
+  if (carry != 0) out.push_back(1);
+  return out;
+}
+
+// Requires |a| >= |b|.
+std::vector<Limb> sub_mag(const Limb* a, std::size_t na, const Limb* b,
+                          std::size_t nb) {
+  std::vector<Limb> out;
+  out.reserve(na);
+  unsigned borrow = 0;
+  for (std::size_t i = 0; i < na; ++i) {
+    Limb diff;
+    unsigned b1 = __builtin_sub_overflow(a[i], i < nb ? b[i] : 0, &diff);
+    unsigned b2 = __builtin_sub_overflow(diff, static_cast<Limb>(borrow),
+                                         &diff);
+    borrow = b1 | b2;
+    out.push_back(diff);
+  }
+  trim_mag(out);
+  return out;
+}
+
+std::vector<Limb> mul_mag(const Limb* a, std::size_t na, const Limb* b,
+                          std::size_t nb) {
+  if (na == 0 || nb == 0) return {};
+  std::vector<Limb> out(na + nb, 0);
+  for (std::size_t i = 0; i < na; ++i) {
+    if (a[i] == 0) continue;
+    Limb carry = 0;
+    for (std::size_t j = 0; j < nb; ++j) {
+      WideLimb cur = static_cast<WideLimb>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> 64);
+    }
+    std::size_t k = i + nb;
+    while (carry != 0) {
+      WideLimb cur = static_cast<WideLimb>(out[k]) + carry;
+      out[k] = static_cast<Limb>(cur);
+      carry = static_cast<Limb>(cur >> 64);
+      ++k;
+    }
+  }
+  trim_mag(out);
+  return out;
+}
+
+// Knuth TAOCP vol. 2 algorithm D, base 2^64.
+void div_mod_mag(const Limb* dividend, std::size_t nd, const Limb* divisor,
+                 std::size_t nv, std::vector<Limb>& quotient,
+                 std::vector<Limb>& remainder) {
+  quotient.clear();
+  remainder.clear();
+  if (nv == 0) throw std::domain_error("BigInt: division by zero");
+
+  // Fast path: single-limb divisor.
+  if (nv == 1) {
+    Limb d = divisor[0];
+    quotient.assign(nd, 0);
+    Limb rem = 0;
+    for (std::size_t i = nd; i-- > 0;) {
+      WideLimb cur = (static_cast<WideLimb>(rem) << 64) | dividend[i];
+      quotient[i] = static_cast<Limb>(cur / d);
+      rem = static_cast<Limb>(cur % d);
+    }
+    trim_mag(quotient);
+    if (rem != 0) remainder.push_back(rem);
+    return;
+  }
+
+  if (compare_mag(dividend, nd, divisor, nv) < 0) {
+    remainder.assign(dividend, dividend + nd);
+    return;
+  }
+
+  // D1: normalize so the top divisor limb has its high bit set.
+  const int shift = std::countl_zero(divisor[nv - 1]);
+  auto shift_left = [](const Limb* p, std::size_t n, int s) {
+    std::vector<Limb> out(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] |= p[i] << s;
+      if (s != 0) out[i + 1] = p[i] >> (64 - s);
+    }
+    return out;
+  };
+  std::vector<Limb> u = shift_left(dividend, nd, shift);  // one extra limb
+  std::vector<Limb> v = shift_left(divisor, nv, shift);
+  trim_mag(v);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() - n;  // quotient has at most m limbs
+
+  quotient.assign(m, 0);
+  const WideLimb vn1 = v[n - 1];
+  const WideLimb vn2 = v[n - 2];
+
+  for (std::size_t j = m; j-- > 0;) {
+    // D3: estimate q_hat from the top two dividend limbs, clamped to base-1
+    // per Knuth so all intermediates below fit in 128 bits.
+    WideLimb numerator = (static_cast<WideLimb>(u[j + n]) << 64) | u[j + n - 1];
+    WideLimb q_hat = numerator / vn1;
+    WideLimb r_hat = numerator % vn1;
+    if (q_hat >= kLimbBase) {
+      q_hat = kLimbBase - 1;
+      r_hat = numerator - q_hat * vn1;
+    }
+    while (r_hat < kLimbBase &&
+           q_hat * vn2 > ((r_hat << 64) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += vn1;
+    }
+    // D4: multiply-subtract q_hat * v from u[j .. j+n].
+    Limb mul_carry = 0;
+    unsigned borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      WideLimb product =
+          static_cast<WideLimb>(q_hat) * v[i] + mul_carry;
+      Limb low = static_cast<Limb>(product);
+      mul_carry = static_cast<Limb>(product >> 64);
+      Limb diff;
+      unsigned b1 = __builtin_sub_overflow(u[i + j], low, &diff);
+      unsigned b2 =
+          __builtin_sub_overflow(diff, static_cast<Limb>(borrow), &diff);
+      borrow = b1 | b2;
+      u[i + j] = diff;
+    }
+    Limb top;
+    unsigned b1 = __builtin_sub_overflow(u[j + n], mul_carry, &top);
+    unsigned b2 = __builtin_sub_overflow(top, static_cast<Limb>(borrow), &top);
+    bool went_negative = (b1 | b2) != 0;
+    u[j + n] = top;
+
+    // D6: add back if the estimate was one too large.
+    if (went_negative) {
+      --q_hat;
+      unsigned carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        Limb sum;
+        unsigned c1 = __builtin_add_overflow(u[i + j], v[i], &sum);
+        unsigned c2 =
+            __builtin_add_overflow(sum, static_cast<Limb>(carry), &sum);
+        carry = c1 | c2;
+        u[i + j] = sum;
+      }
+      u[j + n] += carry;
+    }
+    quotient[j] = static_cast<Limb>(q_hat);
+  }
+
+  trim_mag(quotient);
+
+  // D8: de-normalize the remainder.
+  remainder.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift != 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      remainder[i] >>= shift;
+      if (i + 1 < n)
+        remainder[i] |= u[i + 1] << (64 - shift);
+    }
+  }
+  trim_mag(remainder);
+}
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  int az = std::countr_zero(a);
+  int bz = std::countr_zero(b);
+  int shift = az < bz ? az : bz;
+  a >>= az;
+  // Binary gcd: both operands odd at the top of every iteration.
+  while (b != 0) {
+    b >>= std::countr_zero(b);
+    if (a > b) std::swap(a, b);
+    b -= a;
+  }
+  return a << shift;
+}
 
 }  // namespace
 
-BigInt::BigInt(std::int64_t value) {
-  if (value == 0) return;
-  negative_ = value < 0;
-  // Avoid overflow on INT64_MIN by negating in unsigned space.
-  std::uint64_t magnitude =
-      negative_ ? ~static_cast<std::uint64_t>(value) + 1
-                : static_cast<std::uint64_t>(value);
-  while (magnitude != 0) {
-    limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffu));
-    magnitude >>= 32;
+BigInt::MagView BigInt::mag_view(Limb& scratch) const {
+  if (!small_) return {limbs_.data(), limbs_.size()};
+  scratch = magnitude_of(value_);
+  return {&scratch, scratch == 0 ? std::size_t{0} : std::size_t{1}};
+}
+
+void BigInt::assign_mag(std::vector<Limb>&& mag, bool negative) {
+  trim_mag(mag);
+  if (mag.empty()) {
+    small_ = true;
+    value_ = 0;
+    negative_ = false;
+    limbs_.clear();
+    return;
   }
+  if (mag.size() == 1) {
+    Limb m = mag[0];
+    if (m < (1ull << 63)) {
+      small_ = true;
+      value_ = negative ? -static_cast<std::int64_t>(m)
+                        : static_cast<std::int64_t>(m);
+      negative_ = false;
+      limbs_.clear();
+      return;
+    }
+    if (negative && m == (1ull << 63)) {
+      small_ = true;
+      value_ = INT64_MIN_VALUE;
+      negative_ = false;
+      limbs_.clear();
+      return;
+    }
+  }
+  small_ = false;
+  value_ = 0;
+  negative_ = negative;
+  limbs_ = std::move(mag);
+}
+
+BigInt BigInt::from_mag(std::vector<Limb>&& mag, bool negative) {
+  BigInt out;
+  out.assign_mag(std::move(mag), negative);
+  return out;
+}
+
+void BigInt::debug_force_promote() {
+  if (!small_) return;
+  std::uint64_t magnitude = magnitude_of(value_);
+  negative_ = value_ < 0;
+  limbs_.clear();
+  if (magnitude != 0) limbs_.push_back(magnitude);
+  if (limbs_.empty()) negative_ = false;
+  small_ = false;
+  value_ = 0;
 }
 
 BigInt BigInt::from_string(std::string_view text) {
@@ -45,293 +304,121 @@ BigInt BigInt::from_string(std::string_view text) {
     result *= ten;
     result += BigInt(c - '0');
   }
-  if (negative && !result.is_zero()) result.negative_ = true;
+  if (negative) return result.negated();
   return result;
-}
-
-void BigInt::trim() {
-  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
-  if (limbs_.empty()) negative_ = false;
 }
 
 BigInt BigInt::abs() const {
-  BigInt result = *this;
-  result.negative_ = false;
-  return result;
+  if (small_) {
+    if (value_ == INT64_MIN_VALUE) return from_mag({1ull << 63}, false);
+    return BigInt(value_ < 0 ? -value_ : value_);
+  }
+  // from_mag re-canonicalizes: |x| may fit int64 even when x did not.
+  return from_mag(std::vector<Limb>(limbs_), false);
 }
 
 BigInt BigInt::negated() const {
-  BigInt result = *this;
-  if (!result.is_zero()) result.negative_ = !result.negative_;
-  return result;
+  if (small_) {
+    // -INT64_MIN does not fit int64; promote to the limb tier.
+    if (value_ == INT64_MIN_VALUE) return from_mag({1ull << 63}, false);
+    return BigInt(-value_);
+  }
+  // from_mag re-canonicalizes: -2^63 demotes back to small INT64_MIN.
+  return from_mag(std::vector<Limb>(limbs_), !negative_ && !is_zero());
 }
 
-int BigInt::compare_magnitude(const BigInt& lhs, const BigInt& rhs) {
-  if (lhs.limbs_.size() != rhs.limbs_.size())
-    return lhs.limbs_.size() < rhs.limbs_.size() ? -1 : 1;
-  for (std::size_t i = lhs.limbs_.size(); i-- > 0;) {
-    if (lhs.limbs_[i] != rhs.limbs_[i])
-      return lhs.limbs_[i] < rhs.limbs_[i] ? -1 : 1;
-  }
-  return 0;
+int BigInt::compare_slow(const BigInt& lhs, const BigInt& rhs) {
+  bool lneg = lhs.is_negative();
+  bool rneg = rhs.is_negative();
+  if (lneg != rneg) return lneg ? -1 : 1;
+  Limb ls;
+  Limb rs;
+  MagView lv = lhs.mag_view(ls);
+  MagView rv = rhs.mag_view(rs);
+  int mag = compare_mag(lv.data, lv.size, rv.data, rv.size);
+  return lneg ? -mag : mag;
 }
 
-std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) {
-  if (lhs.negative_ != rhs.negative_)
-    return lhs.negative_ ? std::strong_ordering::less
-                         : std::strong_ordering::greater;
-  int mag = BigInt::compare_magnitude(lhs, rhs);
-  if (lhs.negative_) mag = -mag;
-  if (mag < 0) return std::strong_ordering::less;
-  if (mag > 0) return std::strong_ordering::greater;
-  return std::strong_ordering::equal;
-}
-
-std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
-  const std::vector<Limb>& longer = a.size() >= b.size() ? a : b;
-  const std::vector<Limb>& shorter = a.size() >= b.size() ? b : a;
-  std::vector<Limb> out;
-  out.reserve(longer.size() + 1);
-  WideLimb carry = 0;
-  for (std::size_t i = 0; i < longer.size(); ++i) {
-    WideLimb sum = carry + longer[i];
-    if (i < shorter.size()) sum += shorter[i];
-    out.push_back(static_cast<Limb>(sum & 0xffffffffu));
-    carry = sum >> 32;
+BigInt& BigInt::add_sub_slow(const BigInt& rhs, bool negate_rhs) {
+  bool lneg = is_negative();
+  bool rneg = rhs.is_negative() != negate_rhs;
+  if (rhs.is_zero()) rneg = false;
+  Limb ls;
+  Limb rs;
+  MagView lv = mag_view(ls);
+  MagView rv = rhs.mag_view(rs);
+  if (lneg == rneg) {
+    assign_mag(add_mag(lv.data, lv.size, rv.data, rv.size), lneg);
+    return *this;
   }
-  if (carry != 0) out.push_back(static_cast<Limb>(carry));
-  return out;
-}
-
-std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
-  std::vector<Limb> out;
-  out.reserve(a.size());
-  std::int64_t borrow = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
-                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
-    if (diff < 0) {
-      diff += static_cast<std::int64_t>(kLimbBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    out.push_back(static_cast<Limb>(diff));
+  int cmp = compare_mag(lv.data, lv.size, rv.data, rv.size);
+  if (cmp == 0) {
+    assign_mag({}, false);
+    return *this;
   }
-  while (!out.empty() && out.back() == 0) out.pop_back();
-  return out;
-}
-
-std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
-                                                const std::vector<Limb>& b) {
-  if (a.empty() || b.empty()) return {};
-  std::vector<Limb> out(a.size() + b.size(), 0);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] == 0) continue;
-    WideLimb carry = 0;
-    for (std::size_t j = 0; j < b.size(); ++j) {
-      WideLimb cur = static_cast<WideLimb>(a[i]) * b[j] + out[i + j] + carry;
-      out[i + j] = static_cast<Limb>(cur & 0xffffffffu);
-      carry = cur >> 32;
-    }
-    std::size_t k = i + b.size();
-    while (carry != 0) {
-      WideLimb cur = out[k] + carry;
-      out[k] = static_cast<Limb>(cur & 0xffffffffu);
-      carry = cur >> 32;
-      ++k;
-    }
-  }
-  while (!out.empty() && out.back() == 0) out.pop_back();
-  return out;
-}
-
-// Knuth TAOCP vol. 2 algorithm D, base 2^32.
-void BigInt::div_mod_magnitude(const std::vector<Limb>& dividend,
-                               const std::vector<Limb>& divisor,
-                               std::vector<Limb>& quotient,
-                               std::vector<Limb>& remainder) {
-  quotient.clear();
-  remainder.clear();
-  if (divisor.empty()) throw std::domain_error("BigInt: division by zero");
-
-  // Fast path: single-limb divisor.
-  if (divisor.size() == 1) {
-    WideLimb d = divisor[0];
-    quotient.assign(dividend.size(), 0);
-    WideLimb rem = 0;
-    for (std::size_t i = dividend.size(); i-- > 0;) {
-      WideLimb cur = (rem << 32) | dividend[i];
-      quotient[i] = static_cast<Limb>(cur / d);
-      rem = cur % d;
-    }
-    while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
-    if (rem != 0) remainder.push_back(static_cast<Limb>(rem));
-    return;
-  }
-
-  if (dividend.size() < divisor.size()) {
-    remainder = dividend;
-    return;
-  }
-
-  // D1: normalize so the top divisor limb has its high bit set.
-  int shift = 0;
-  {
-    Limb top = divisor.back();
-    while ((top & 0x80000000u) == 0) {
-      top <<= 1;
-      ++shift;
-    }
-  }
-  auto shift_left = [](const std::vector<Limb>& v, int s) {
-    std::vector<Limb> out(v.size() + 1, 0);
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      out[i] |= static_cast<Limb>((static_cast<WideLimb>(v[i]) << s) &
-                                  0xffffffffu);
-      if (s != 0)
-        out[i + 1] = static_cast<Limb>(static_cast<WideLimb>(v[i]) >>
-                                       (32 - s));
-    }
-    return out;
-  };
-  std::vector<Limb> u = shift_left(dividend, shift);  // size n+1 extra limb
-  std::vector<Limb> v = shift_left(divisor, shift);
-  while (!v.empty() && v.back() == 0) v.pop_back();
-  const std::size_t n = v.size();
-  const std::size_t m = u.size() - n;  // quotient has at most m limbs
-
-  quotient.assign(m, 0);
-  const WideLimb vn1 = v[n - 1];
-  const WideLimb vn2 = v[n - 2];
-
-  for (std::size_t j = m; j-- > 0;) {
-    // D3: estimate q_hat from the top two dividend limbs, clamped to base-1
-    // per Knuth so all intermediates below fit in 64 bits.
-    WideLimb numerator =
-        (static_cast<WideLimb>(u[j + n]) << 32) | u[j + n - 1];
-    WideLimb q_hat = numerator / vn1;
-    WideLimb r_hat = numerator % vn1;
-    if (q_hat >= kLimbBase) {
-      q_hat = kLimbBase - 1;
-      r_hat = numerator - q_hat * vn1;
-    }
-    while (r_hat < kLimbBase &&
-           q_hat * vn2 > ((r_hat << 32) | u[j + n - 2])) {
-      --q_hat;
-      r_hat += vn1;
-    }
-    // D4: multiply-subtract q_hat * v from u[j .. j+n].
-    std::int64_t borrow = 0;
-    WideLimb carry = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      WideLimb product = q_hat * v[i] + carry;
-      carry = product >> 32;
-      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
-                          static_cast<std::int64_t>(product & 0xffffffffu) -
-                          borrow;
-      if (diff < 0) {
-        diff += static_cast<std::int64_t>(kLimbBase);
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      u[i + j] = static_cast<Limb>(diff);
-    }
-    std::int64_t diff = static_cast<std::int64_t>(u[j + n]) -
-                        static_cast<std::int64_t>(carry) - borrow;
-    bool went_negative = diff < 0;
-    if (went_negative) diff += static_cast<std::int64_t>(kLimbBase);
-    u[j + n] = static_cast<Limb>(diff);
-
-    // D6: add back if the estimate was one too large.
-    if (went_negative) {
-      --q_hat;
-      WideLimb add_carry = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        WideLimb sum = static_cast<WideLimb>(u[i + j]) + v[i] + add_carry;
-        u[i + j] = static_cast<Limb>(sum & 0xffffffffu);
-        add_carry = sum >> 32;
-      }
-      u[j + n] = static_cast<Limb>(u[j + n] + add_carry);
-    }
-    quotient[j] = static_cast<Limb>(q_hat);
-  }
-
-  while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
-
-  // D8: de-normalize the remainder.
-  remainder.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
-  if (shift != 0) {
-    for (std::size_t i = 0; i < remainder.size(); ++i) {
-      remainder[i] >>= shift;
-      if (i + 1 < n)
-        remainder[i] |= static_cast<Limb>(
-            (static_cast<WideLimb>(remainder.size() > i + 1 ? u[i + 1] : 0)
-             << (32 - shift)) &
-            0xffffffffu);
-    }
-  }
-  while (!remainder.empty() && remainder.back() == 0) remainder.pop_back();
-}
-
-BigInt& BigInt::operator+=(const BigInt& rhs) {
-  if (negative_ == rhs.negative_) {
-    limbs_ = add_magnitude(limbs_, rhs.limbs_);
+  if (cmp > 0) {
+    assign_mag(sub_mag(lv.data, lv.size, rv.data, rv.size), lneg);
   } else {
-    int cmp = compare_magnitude(*this, rhs);
-    if (cmp == 0) {
-      limbs_.clear();
-      negative_ = false;
-      return *this;
-    }
-    if (cmp > 0) {
-      limbs_ = sub_magnitude(limbs_, rhs.limbs_);
-    } else {
-      limbs_ = sub_magnitude(rhs.limbs_, limbs_);
-      negative_ = rhs.negative_;
-    }
+    assign_mag(sub_mag(rv.data, rv.size, lv.data, lv.size), rneg);
   }
-  trim();
   return *this;
 }
 
-BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
-
-BigInt& BigInt::operator*=(const BigInt& rhs) {
-  bool negative = negative_ != rhs.negative_;
-  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
-  negative_ = !limbs_.empty() && negative;
+BigInt& BigInt::mul_slow(const BigInt& rhs) {
+  bool negative = is_negative() != rhs.is_negative();
+  Limb ls;
+  Limb rs;
+  MagView lv = mag_view(ls);
+  MagView rv = rhs.mag_view(rs);
+  assign_mag(mul_mag(lv.data, lv.size, rv.data, rv.size), negative);
   return *this;
 }
 
 BigIntDivMod BigInt::div_mod(const BigInt& dividend, const BigInt& divisor) {
+  if (dividend.small_ && divisor.small_ && divisor.value_ != 0 &&
+      !(dividend.value_ == INT64_MIN_VALUE && divisor.value_ == -1)) {
+    return {BigInt(dividend.value_ / divisor.value_),
+            BigInt(dividend.value_ % divisor.value_)};
+  }
+  Limb ds;
+  Limb vs;
+  MagView dv = dividend.mag_view(ds);
+  MagView vv = divisor.mag_view(vs);
+  std::vector<Limb> q;
+  std::vector<Limb> r;
+  div_mod_mag(dv.data, dv.size, vv.data, vv.size, q, r);
   BigIntDivMod out;
-  div_mod_magnitude(dividend.limbs_, divisor.limbs_, out.quotient.limbs_,
-                    out.remainder.limbs_);
-  out.quotient.negative_ =
-      !out.quotient.limbs_.empty() && (dividend.negative_ != divisor.negative_);
-  out.remainder.negative_ =
-      !out.remainder.limbs_.empty() && dividend.negative_;
+  bool qneg = dividend.is_negative() != divisor.is_negative();
+  out.quotient.assign_mag(std::move(q), qneg);
+  out.remainder.assign_mag(std::move(r), dividend.is_negative());
   return out;
 }
 
-BigInt& BigInt::operator/=(const BigInt& rhs) {
+BigInt& BigInt::div_slow(const BigInt& rhs) {
   *this = div_mod(*this, rhs).quotient;
   return *this;
 }
 
-BigInt& BigInt::operator%=(const BigInt& rhs) {
+BigInt& BigInt::mod_slow(const BigInt& rhs) {
   *this = div_mod(*this, rhs).remainder;
   return *this;
 }
 
 BigInt BigInt::gcd(BigInt a, BigInt b) {
-  a.negative_ = false;
-  b.negative_ = false;
+  if (a.small_ && b.small_) {
+    std::uint64_t g = gcd_u64(magnitude_of(a.value_), magnitude_of(b.value_));
+    return from_mag(g == 0 ? std::vector<Limb>{} : std::vector<Limb>{g},
+                    false);
+  }
+  a = a.abs();
+  b = b.abs();
   while (!b.is_zero()) {
+    // Once both operands fit the small tier, finish with binary gcd.
+    if (a.small_ && b.small_) {
+      std::uint64_t g =
+          gcd_u64(magnitude_of(a.value_), magnitude_of(b.value_));
+      return from_mag({g}, false);
+    }
     BigInt r = div_mod(a, b).remainder;
     a = std::move(b);
     b = std::move(r);
@@ -346,66 +433,64 @@ BigInt BigInt::lcm(const BigInt& a, const BigInt& b) {
 }
 
 std::size_t BigInt::bit_length() const {
-  if (limbs_.empty()) return 0;
-  Limb top = limbs_.back();
-  std::size_t bits = (limbs_.size() - 1) * kLimbBits;
-  while (top != 0) {
-    ++bits;
-    top >>= 1;
+  if (small_) {
+    std::uint64_t magnitude = magnitude_of(value_);
+    return static_cast<std::size_t>(64 - std::countl_zero(magnitude)) *
+           (magnitude != 0 ? 1 : 0);
   }
-  return bits;
+  if (limbs_.empty()) return 0;
+  return (limbs_.size() - 1) * kLimbBits +
+         static_cast<std::size_t>(64 - std::countl_zero(limbs_.back()));
 }
 
 bool BigInt::fits_int64() const {
-  if (limbs_.size() < 2) return true;
-  if (limbs_.size() > 2) return false;
-  std::uint64_t magnitude =
-      (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
-  if (negative_) return magnitude <= (1ull << 63);
-  return magnitude < (1ull << 63);
+  if (small_) return true;
+  if (limbs_.empty()) return true;
+  if (limbs_.size() > 1) return false;
+  if (negative_) return limbs_[0] <= (1ull << 63);
+  return limbs_[0] < (1ull << 63);
 }
 
 std::int64_t BigInt::to_int64() const {
+  if (small_) return value_;
   if (!fits_int64()) throw std::overflow_error("BigInt: does not fit int64");
-  std::uint64_t magnitude = 0;
-  if (!limbs_.empty()) magnitude = limbs_[0];
-  if (limbs_.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs_[1])
-                                       << 32;
+  std::uint64_t magnitude = limbs_.empty() ? 0 : limbs_[0];
   if (negative_) return static_cast<std::int64_t>(~magnitude + 1);
   return static_cast<std::int64_t>(magnitude);
 }
 
 double BigInt::to_double() const {
+  if (small_) return static_cast<double>(value_);
   double result = 0.0;
   for (std::size_t i = limbs_.size(); i-- > 0;) {
-    result = result * static_cast<double>(kLimbBase) +
-             static_cast<double>(limbs_[i]);
+    result = result * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
   }
   return negative_ ? -result : result;
 }
 
 std::string BigInt::to_string() const {
-  if (is_zero()) return "0";
-  // Peel 9 decimal digits at a time via single-limb division by 1e9.
+  if (small_) return std::to_string(value_);
+  if (limbs_.empty()) return "0";
+  // Peel 19 decimal digits at a time via single-limb division by 1e19.
   std::vector<Limb> current = limbs_;
-  std::vector<std::uint32_t> chunks;
-  constexpr WideLimb kChunk = 1000000000ull;
+  std::vector<std::uint64_t> chunks;
+  constexpr Limb kChunk = 10000000000000000000ull;  // 1e19 < 2^64
   while (!current.empty()) {
-    WideLimb rem = 0;
+    Limb rem = 0;
     for (std::size_t i = current.size(); i-- > 0;) {
-      WideLimb cur = (rem << 32) | current[i];
+      WideLimb cur = (static_cast<WideLimb>(rem) << 64) | current[i];
       current[i] = static_cast<Limb>(cur / kChunk);
-      rem = cur % kChunk;
+      rem = static_cast<Limb>(cur % kChunk);
     }
-    while (!current.empty() && current.back() == 0) current.pop_back();
-    chunks.push_back(static_cast<std::uint32_t>(rem));
+    trim_mag(current);
+    chunks.push_back(rem);
   }
   std::string out;
   if (negative_) out.push_back('-');
   out += std::to_string(chunks.back());
   for (std::size_t i = chunks.size() - 1; i-- > 0;) {
     std::string part = std::to_string(chunks[i]);
-    out += std::string(9 - part.size(), '0');
+    out += std::string(19 - part.size(), '0');
     out += part;
   }
   return out;

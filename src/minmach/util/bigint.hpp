@@ -1,11 +1,21 @@
-// Arbitrary-precision signed integers.
+// Arbitrary-precision signed integers with a two-tier representation.
 //
 // The library computes all time arithmetic exactly (see DESIGN.md §2): the
 // strong-lower-bound adversary rescales instances by quantities derived from
 // the opponent's own schedule, so denominators grow without bound and no
-// fixed-width integer type suffices. BigInt is sign-magnitude over 32-bit
-// limbs (little-endian) with 64-bit intermediates; division is Knuth
-// algorithm D.
+// fixed-width integer type suffices. Generators, however, deliberately emit
+// small-denominator rationals, so in bulk simulation >99% of values fit a
+// machine word. BigInt therefore keeps every value that fits `int64_t` in an
+// inline field (no heap allocation, overflow-checked machine arithmetic) and
+// promotes to sign-magnitude 64-bit limbs (little-endian, `__uint128_t`
+// intermediates, Knuth algorithm D division) only when a result overflows.
+//
+// Promotion invariant: the representation is canonical — a BigInt is in the
+// small tier if and only if its value fits `int64_t`. Every operation
+// restores this invariant on its result, so equality can compare
+// representations on the fast path. (`debug_force_promote()` deliberately
+// breaks the invariant for differential testing; all operations still accept
+// such non-canonical *inputs* and produce canonical outputs.)
 #pragma once
 
 #include <compare>
@@ -22,7 +32,8 @@ struct BigIntDivMod;
 class BigInt {
  public:
   BigInt() = default;
-  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor) intentional: ints promote to BigInt
+  // NOLINTNEXTLINE(google-explicit-constructor) intentional: ints promote to BigInt
+  BigInt(std::int64_t value) : value_(value) {}
   BigInt(int value) : BigInt(static_cast<std::int64_t>(value)) {}
   BigInt(long long value) : BigInt(static_cast<std::int64_t>(value)) {}
   BigInt(unsigned int value) : BigInt(static_cast<std::int64_t>(value)) {}
@@ -31,20 +42,79 @@ class BigInt {
   // std::invalid_argument on malformed input.
   static BigInt from_string(std::string_view text);
 
-  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
-  [[nodiscard]] bool is_negative() const { return negative_; }
-  [[nodiscard]] int signum() const {
-    return is_zero() ? 0 : (negative_ ? -1 : 1);
+  [[nodiscard]] bool is_zero() const {
+    return small_ ? value_ == 0 : limbs_.empty();
   }
+  [[nodiscard]] bool is_negative() const {
+    return small_ ? value_ < 0 : negative_;
+  }
+  [[nodiscard]] int signum() const {
+    if (small_) return value_ == 0 ? 0 : (value_ < 0 ? -1 : 1);
+    return limbs_.empty() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  // True iff the value is held in the inline int64 tier.
+  [[nodiscard]] bool is_small() const { return small_; }
+  // Valid only when is_small().
+  [[nodiscard]] std::int64_t small_value() const { return value_; }
+  // Test hook: switch to the limb representation without demoting, so the
+  // differential suite can force the slow path. Breaks the canonical-form
+  // invariant for *this* object; all operations still produce canonical
+  // results from such inputs.
+  void debug_force_promote();
 
   [[nodiscard]] BigInt abs() const;
   [[nodiscard]] BigInt negated() const;
 
-  BigInt& operator+=(const BigInt& rhs);
-  BigInt& operator-=(const BigInt& rhs);
-  BigInt& operator*=(const BigInt& rhs);
-  BigInt& operator/=(const BigInt& rhs);  // truncates toward zero
-  BigInt& operator%=(const BigInt& rhs);  // sign follows dividend
+  BigInt& operator+=(const BigInt& rhs) {
+    if (small_ && rhs.small_) [[likely]] {
+      std::int64_t sum;
+      if (!__builtin_add_overflow(value_, rhs.value_, &sum)) [[likely]] {
+        value_ = sum;
+        return *this;
+      }
+    }
+    return add_sub_slow(rhs, /*negate_rhs=*/false);
+  }
+  BigInt& operator-=(const BigInt& rhs) {
+    if (small_ && rhs.small_) [[likely]] {
+      std::int64_t diff;
+      if (!__builtin_sub_overflow(value_, rhs.value_, &diff)) [[likely]] {
+        value_ = diff;
+        return *this;
+      }
+    }
+    return add_sub_slow(rhs, /*negate_rhs=*/true);
+  }
+  BigInt& operator*=(const BigInt& rhs) {
+    if (small_ && rhs.small_) [[likely]] {
+      std::int64_t product;
+      if (!__builtin_mul_overflow(value_, rhs.value_, &product)) [[likely]] {
+        value_ = product;
+        return *this;
+      }
+    }
+    return mul_slow(rhs);
+  }
+  // Truncates toward zero. INT64_MIN / -1 is the one small/small quotient
+  // that overflows; it promotes through the slow path.
+  BigInt& operator/=(const BigInt& rhs) {
+    if (small_ && rhs.small_ && rhs.value_ != 0 &&
+        !(value_ == INT64_MIN_VALUE && rhs.value_ == -1)) [[likely]] {
+      value_ /= rhs.value_;
+      return *this;
+    }
+    return div_slow(rhs);
+  }
+  // Sign follows the dividend.
+  BigInt& operator%=(const BigInt& rhs) {
+    if (small_ && rhs.small_ && rhs.value_ != 0 &&
+        !(value_ == INT64_MIN_VALUE && rhs.value_ == -1)) [[likely]] {
+      value_ %= rhs.value_;
+      return *this;
+    }
+    return mod_slow(rhs);
+  }
 
   friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
   friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
@@ -59,10 +129,17 @@ class BigInt {
                                             const BigInt& divisor);
 
   friend bool operator==(const BigInt& lhs, const BigInt& rhs) {
-    return lhs.negative_ == rhs.negative_ && lhs.limbs_ == rhs.limbs_;
+    if (lhs.small_ && rhs.small_) [[likely]] return lhs.value_ == rhs.value_;
+    return compare_slow(lhs, rhs) == 0;
   }
   friend std::strong_ordering operator<=>(const BigInt& lhs,
-                                          const BigInt& rhs);
+                                          const BigInt& rhs) {
+    if (lhs.small_ && rhs.small_) [[likely]] return lhs.value_ <=> rhs.value_;
+    int cmp = compare_slow(lhs, rhs);
+    if (cmp < 0) return std::strong_ordering::less;
+    if (cmp > 0) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
 
   [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);  // non-negative result
   [[nodiscard]] static BigInt lcm(const BigInt& a, const BigInt& b);
@@ -80,28 +157,37 @@ class BigInt {
   friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
 
  private:
-  using Limb = std::uint32_t;
-  using WideLimb = std::uint64_t;
-  static constexpr int kLimbBits = 32;
+  using Limb = std::uint64_t;
+  using WideLimb = unsigned __int128;
+  static constexpr int kLimbBits = 64;
+  static constexpr std::int64_t INT64_MIN_VALUE =
+      (-0x7fffffffffffffffll - 1);
 
-  // |limbs_| little-endian, no trailing zero limbs; zero <=> limbs_.empty().
+  // Small tier: small_ == true, value in value_, limbs_ empty, negative_
+  // unused (false). Limb tier: small_ == false, |value| in limbs_
+  // little-endian with no trailing zero limbs, sign in negative_.
+  std::int64_t value_ = 0;
   std::vector<Limb> limbs_;
+  bool small_ = true;
   bool negative_ = false;
 
-  void trim();
-  // Magnitude-only helpers; ignore signs of the operands.
-  static int compare_magnitude(const BigInt& lhs, const BigInt& rhs);
-  static std::vector<Limb> add_magnitude(const std::vector<Limb>& a,
-                                         const std::vector<Limb>& b);
-  // Requires |a| >= |b|.
-  static std::vector<Limb> sub_magnitude(const std::vector<Limb>& a,
-                                         const std::vector<Limb>& b);
-  static std::vector<Limb> mul_magnitude(const std::vector<Limb>& a,
-                                         const std::vector<Limb>& b);
-  static void div_mod_magnitude(const std::vector<Limb>& dividend,
-                                const std::vector<Limb>& divisor,
-                                std::vector<Limb>& quotient,
-                                std::vector<Limb>& remainder);
+  // Borrowed view of a magnitude; `scratch` backs the small tier.
+  struct MagView {
+    const Limb* data;
+    std::size_t size;
+  };
+  [[nodiscard]] MagView mag_view(Limb& scratch) const;
+
+  // Adopts a magnitude + sign and restores the canonical-form invariant
+  // (demotes to the small tier whenever the value fits int64).
+  void assign_mag(std::vector<Limb>&& mag, bool negative);
+  static BigInt from_mag(std::vector<Limb>&& mag, bool negative);
+
+  BigInt& add_sub_slow(const BigInt& rhs, bool negate_rhs);
+  BigInt& mul_slow(const BigInt& rhs);
+  BigInt& div_slow(const BigInt& rhs);
+  BigInt& mod_slow(const BigInt& rhs);
+  static int compare_slow(const BigInt& lhs, const BigInt& rhs);
 };
 
 struct BigIntDivMod {

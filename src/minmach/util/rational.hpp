@@ -1,6 +1,13 @@
 // Exact rational numbers over BigInt. All job parameters and all time
 // arithmetic in the library use Rat, so adversary constructions and schedule
 // validation are exact (no epsilon comparisons anywhere).
+//
+// Because BigInt is two-tier (see bigint.hpp), a small rational is stored as
+// int64/int64 with no heap allocation. The arithmetic operators exploit
+// this: when all four components fit the small tier they run an int64 fast
+// path (binary gcd on uint64, __int128 intermediates, Knuth 4.5.1
+// cross-reduction so intermediates stay small before normalization) and fall
+// back to the exact BigInt path only when a result would overflow.
 #pragma once
 
 #include <compare>
@@ -70,6 +77,13 @@ class Rat {
 
  private:
   void normalize();
+
+  // int64 fast paths; return false when any input or result leaves the
+  // small tier (the caller then runs the BigInt path).
+  bool add_small(const Rat& rhs, bool negate_rhs);
+  bool mul_small(const Rat& rhs);
+  bool div_small(const Rat& rhs);
+  Rat& add_slow(const Rat& rhs, bool negate_rhs);
 
   BigInt num_;
   BigInt den_;  // always > 0; gcd(|num_|, den_) == 1; zero is 0/1

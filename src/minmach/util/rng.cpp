@@ -40,7 +40,10 @@ std::uint64_t Rng::next_u64() {
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   assert(lo <= hi);
-  std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Span computed in unsigned space: hi - lo may exceed INT64_MAX, and
+  // unsigned wraparound is the defined way to get the same bit pattern.
+  std::uint64_t range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
   // Rejection sampling to avoid modulo bias.
   std::uint64_t limit = ~0ull - ~0ull % range;
@@ -48,7 +51,8 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   do {
     draw = next_u64();
   } while (draw >= limit);
-  return lo + static_cast<std::int64_t>(draw % range);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   draw % range);
 }
 
 double Rng::uniform_double() {

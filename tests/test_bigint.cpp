@@ -271,5 +271,46 @@ TEST(BigInt, AddBackPath) {
   EXPECT_LT(dm.remainder.abs(), v.abs());
 }
 
+// Regression: sign-magnitude negation of the most-negative int64 is the
+// classic UB trap -- |INT64_MIN| = 2^63 has no int64 representation, so
+// negation/abs must promote to the limb tier instead of overflowing.
+TEST(BigInt, Int64MinNegationAndAbs) {
+  const std::int64_t min64 = std::numeric_limits<std::int64_t>::min();
+  BigInt value(min64);
+  EXPECT_TRUE(value.is_small());
+  EXPECT_EQ(value.to_int64(), min64);
+  EXPECT_EQ(value.to_string(), "-9223372036854775808");
+
+  BigInt negated = value.negated();
+  EXPECT_FALSE(negated.is_small());  // 2^63 does not fit int64
+  EXPECT_EQ(negated.to_string(), "9223372036854775808");
+  EXPECT_EQ(negated.negated(), value);  // round-trips back to the small tier
+  EXPECT_TRUE(negated.negated().is_small());
+
+  BigInt absolute = value.abs();
+  EXPECT_EQ(absolute, negated);
+  EXPECT_FALSE(absolute.fits_int64());
+  EXPECT_EQ((-value).to_string(), "9223372036854775808");
+}
+
+TEST(BigInt, Int64MinArithmeticPromotes) {
+  const std::int64_t min64 = std::numeric_limits<std::int64_t>::min();
+  BigInt value(min64);
+  // INT64_MIN / -1 is the one small/small quotient that overflows int64.
+  BigInt quotient = value / BigInt(-1);
+  EXPECT_EQ(quotient.to_string(), "9223372036854775808");
+  EXPECT_TRUE((value % BigInt(-1)).is_zero());
+  auto dm = BigInt::div_mod(value, BigInt(-1));
+  EXPECT_EQ(dm.quotient.to_string(), "9223372036854775808");
+  EXPECT_TRUE(dm.remainder.is_zero());
+
+  EXPECT_EQ((value + value).to_string(), "-18446744073709551616");
+  EXPECT_EQ((value - BigInt(1)).to_string(), "-9223372036854775809");
+  EXPECT_EQ((value * BigInt(-1)).to_string(), "9223372036854775808");
+  EXPECT_EQ(BigInt::gcd(value, value).to_string(), "9223372036854775808");
+  EXPECT_EQ(BigInt::gcd(value, BigInt(3)).to_int64(), 1);
+  EXPECT_EQ(BigInt::from_string("-9223372036854775808"), value);
+}
+
 }  // namespace
 }  // namespace minmach

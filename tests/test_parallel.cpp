@@ -1,0 +1,81 @@
+// Tests for the deterministic parallel-map used by the sweep drivers: the
+// result order is the task-index order regardless of thread count, and
+// exceptions propagate to the caller. The end-to-end determinism check (a
+// whole driver byte-identical at --threads=1 and --threads=4) runs as a
+// separate ctest, see check_driver_determinism.cmake.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+namespace minmach {
+namespace {
+
+TEST(ParallelMap, ResultsOrderedByTaskIndexAcrossThreadCounts) {
+  auto task = [](std::size_t i) {
+    // Stagger finish times so completion order differs from task order.
+    std::this_thread::sleep_for(std::chrono::microseconds((37 - i) % 40));
+    return static_cast<int>(i * i);
+  };
+  auto sequential = bench::parallel_map(32, 1, task);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    auto parallel = bench::parallel_map(32, threads, task);
+    EXPECT_EQ(parallel, sequential) << "threads=" << threads;
+  }
+  ASSERT_EQ(sequential.size(), 32u);
+  EXPECT_EQ(sequential[7], 49);
+}
+
+TEST(ParallelMap, EveryTaskRunsExactlyOnce) {
+  std::vector<std::atomic<int>> counts(100);
+  bench::parallel_map(100, 4, [&](std::size_t i) {
+    counts[i].fetch_add(1);
+    return 0;
+  });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelMap, FirstExceptionInTaskOrderPropagates) {
+  auto run = [](std::size_t threads) {
+    bench::parallel_map(16, threads, [](std::size_t i) -> int {
+      if (i == 5 || i == 11)
+        throw std::runtime_error("task " + std::to_string(i));
+      return static_cast<int>(i);
+    });
+  };
+  for (std::size_t threads : {1u, 4u}) {
+    try {
+      run(threads);
+      FAIL() << "expected exception at threads=" << threads;
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "task 5") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelMap, EmptyAndSingleTaskEdgeCases) {
+  auto none = bench::parallel_map(0, 4, [](std::size_t) { return 1; });
+  EXPECT_TRUE(none.empty());
+  auto one = bench::parallel_map(1, 4, [](std::size_t i) { return i + 10; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 10u);
+}
+
+TEST(ParallelMap, ResolveThreadsCapsAtTaskCount) {
+  EXPECT_EQ(bench::resolve_threads(3, 10), 3u);
+  EXPECT_EQ(bench::resolve_threads(8, 2), 2u);
+  EXPECT_EQ(bench::resolve_threads(5, 0), 1u);
+  EXPECT_GE(bench::resolve_threads(0, 10), 1u);   // "all cores", capped
+  EXPECT_LE(bench::resolve_threads(0, 10), 10u);
+  EXPECT_LE(bench::resolve_threads(-1, 4), 4u);
+}
+
+}  // namespace
+}  // namespace minmach
