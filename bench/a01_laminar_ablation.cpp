@@ -32,12 +32,13 @@ int main(int argc, char** argv) {
   // multiplying the load -- the knob that pushes m high enough for a rich
   // failure curve.
   const int copies = static_cast<int>(cli.get_int("copies", 4));
+  bench::Run ctx(cli, "A1: laminar design ablations (budget split, greedy "
+                      "rule, doubling)",
+                 "failures at budget m' witness (m',1/m')-critical pairs "
+                 "(Lemma 7); failures vanish at the Theorem 9 budget");
   cli.check_unknown();
-
-  bench::print_header(
-      "A1: laminar design ablations (budget split, greedy rule, doubling)",
-      "failures at budget m' witness (m',1/m')-critical pairs (Lemma 7); "
-      "failures vanish at the Theorem 9 budget");
+  ctx.config("seed", static_cast<std::int64_t>(seed));
+  ctx.config("copies", static_cast<std::int64_t>(copies));
 
   Rng rng(seed);
   GenConfig config;
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
                    std::to_string(greedy.assignment_failures())});
   }
   table.print(std::cout);
+  ctx.table("budget sweep: balanced vs greedy failures", table);
 
   // Theorem budget: zero failures.
   auto theorem_budget = static_cast<std::size_t>(
@@ -96,8 +98,9 @@ int main(int argc, char** argv) {
   LaminarPolicy at_theorem(theorem_budget);
   SimRun run = simulate(at_theorem, in, Rat(1), true);
   (void)run;
-  bench::require(at_theorem.assignment_failures() == 0,
-                 "failure at the Theorem 9 budget");
+  ctx.check("failures at the Theorem 9 budget",
+            std::to_string(at_theorem.assignment_failures()), "0",
+            at_theorem.assignment_failures() == 0);
   std::cout << "\nTheorem 9 budget m' = " << theorem_budget << ": "
             << at_theorem.assignment_failures() << " failures\n";
 

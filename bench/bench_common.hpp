@@ -1,7 +1,8 @@
 // Shared scaffolding for the experiment drivers: a uniform header block, a
 // hard-failure helper (a violated invariant makes the binary exit non-zero
-// so CI catches regressions in the reproduced results), and a deterministic
-// parallel-map used by the embarrassingly-parallel sweep drivers.
+// so CI catches regressions in the reproduced results), a deterministic
+// parallel-map used by the embarrassingly-parallel sweep drivers, and the
+// Run wrapper that plumbs --report=FILE / --trace=FILE through every driver.
 #pragma once
 
 #include <algorithm>
@@ -10,9 +11,17 @@
 #include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "minmach/obs/metrics.hpp"
+#include "minmach/obs/report.hpp"
+#include "minmach/obs/trace.hpp"
+#include "minmach/util/cli.hpp"
+#include "minmach/util/table.hpp"
 
 namespace minmach::bench {
 
@@ -26,10 +35,84 @@ inline void print_header(const std::string& experiment,
 
 inline void require(bool condition, const std::string& message) {
   if (!condition) {
+    // Flush results first so the diagnostic lands after any partial table,
+    // and stdout (which the determinism harness captures) stays clean.
+    std::cout.flush();
     std::cerr << "EXPERIMENT INVARIANT VIOLATED: " << message << "\n";
     std::exit(1);
   }
 }
+
+// Per-driver run context. Reads the common --report / --trace flags (so
+// every driver accepts them uniformly), installs the global trace sink for
+// the run's lifetime, prints the standard header, and -- on finish() or
+// destruction -- writes the machine-readable run report: config, result
+// tables, measured-vs-bound checks, and a metrics snapshot. The report
+// excludes wall-clock timings and reproducibility-neutral flags (--threads,
+// --report, --trace), so its bytes are identical at any thread count.
+class Run {
+ public:
+  Run(Cli& cli, std::string experiment, std::string paper_claim) {
+    report_path_ = cli.get_string("report", "");
+    std::string trace_path = cli.get_string("trace", "");
+    if (!trace_path.empty()) {
+      sink_ = std::make_unique<obs::TraceSink>(trace_path);
+      obs::TraceSink::set_global(sink_.get());
+    }
+    obs::Registry::global().reset();
+    print_header(experiment, paper_claim);
+    report_.experiment = std::move(experiment);
+    report_.claim = std::move(paper_claim);
+  }
+
+  ~Run() { finish(); }
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
+
+  void config(const std::string& key, const std::string& value) {
+    report_.config.emplace_back(key, value);
+  }
+  void config(const std::string& key, std::int64_t value) {
+    config(key, std::to_string(value));
+  }
+  void config(const std::string& key, double value) {
+    config(key, Table::fmt(value, 6));
+  }
+
+  void table(const std::string& title, const Table& table) {
+    report_.tables.push_back({title, table.header(), table.rows()});
+  }
+
+  // Records a measured-vs-bound row in the report AND enforces it like
+  // require(): a failed check exits non-zero after the report is written.
+  void check(const std::string& name, const std::string& measured,
+             const std::string& bound, bool ok) {
+    report_.checks.push_back({name, measured, bound, ok});
+    if (!ok) {
+      finish();
+      require(false, name + " (measured " + measured + ", bound " + bound + ")");
+    }
+  }
+
+  // Idempotent: drains hot tallies, snapshots the registry, writes the
+  // report if --report was given, and uninstalls the trace sink.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    report_.metrics = obs::Registry::global().snapshot();
+    if (!report_path_.empty()) obs::save_report(report_path_, report_);
+    if (sink_) {
+      obs::TraceSink::set_global(nullptr);
+      sink_.reset();
+    }
+  }
+
+ private:
+  obs::RunReport report_;
+  std::string report_path_;
+  std::unique_ptr<obs::TraceSink> sink_;
+  bool finished_ = false;
+};
 
 // Resolves a --threads flag value: <= 0 means "use all cores", and there is
 // never a point in more workers than tasks.
@@ -69,7 +152,13 @@ auto parallel_map(std::size_t task_count, std::size_t threads, Fn&& fn)
     auto worker = [&] {
       while (true) {
         std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= task_count) return;
+        if (i >= task_count) {
+          // Fold this worker's thread-local arithmetic tallies into the
+          // registry before the thread dies, so a snapshot taken after
+          // parallel_map returns sees every operation exactly once.
+          obs::drain_hot_tallies();
+          return;
+        }
         try {
           results[i] = fn(i);
         } catch (...) {

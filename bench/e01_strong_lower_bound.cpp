@@ -28,12 +28,13 @@ int main(int argc, char** argv) {
   // covers every structurally distinct construction step.
   const int certify_levels =
       static_cast<int>(cli.get_int("certify-levels", 6));
-  cli.check_unknown();
-
-  bench::print_header(
-      "E1: strong lower bound for non-migratory online scheduling",
+  bench::Run ctx(
+      cli, "E1: strong lower bound for non-migratory online scheduling",
       "any non-migratory online algorithm needs Omega(log n) machines on "
       "instances with migratory OPT = 3 (Theorem 3)");
+  cli.check_unknown();
+  ctx.config("max-levels", static_cast<std::int64_t>(max_levels));
+  ctx.config("certify-levels", static_cast<std::int64_t>(certify_levels));
 
   Table table({"opponent", "k", "jobs n", "machines", "log2(n)",
                "machines/log2(n)", "migratory OPT", "missed"});
@@ -101,6 +102,7 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
+  ctx.table("forcing per opponent and level", table);
   std::cout << "\nShape check: 'machines' grows linearly in k while the\n"
                "certified migratory optimum stays <= 3 -- no function of m\n"
                "bounds the non-migratory online cost (Theorem 3), and the\n"

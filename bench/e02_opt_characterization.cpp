@@ -19,11 +19,11 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::int64_t trials = cli.get_int("trials", 40);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  bench::Run ctx(cli, "E2: Theorem 1 -- optimum = max interval-union load",
+                 "m = max_I ceil(C(S,I)/|I|), attained by some finite union I");
   cli.check_unknown();
-
-  bench::print_header(
-      "E2: Theorem 1 -- optimum = max interval-union load",
-      "m = max_I ceil(C(S,I)/|I|), attained by some finite union I");
+  ctx.config("trials", trials);
+  ctx.config("seed", static_cast<std::int64_t>(seed));
 
   struct Family {
     const char* name;
@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
                    std::to_string(max_opt)});
   }
   table.print(std::cout);
+  ctx.table("Theorem 1 equality per family", table);
 
   // Larger instances: single-interval lower bound validity.
   Rng rng(seed + 1);
@@ -81,6 +82,8 @@ int main(int argc, char** argv) {
     bench::require(single.machines <= opt, "lower bound violated at n=80");
     ++valid;
   }
+  ctx.check("single-interval load bound valid at n=80", std::to_string(valid),
+            std::to_string(big_trials), valid == big_trials);
   std::cout << "\nlarge-instance check (n=80): single-interval load bound <= "
                "flow OPT in " << valid << "/" << big_trials << " trials\n"
             << "Theorem 1 equality held in every enumerable trial above.\n";

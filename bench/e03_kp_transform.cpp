@@ -18,12 +18,12 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::int64_t trials = cli.get_int("trials", 8);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  bench::Run ctx(cli, "E3: offline migratory -> non-migratory transform",
+                 "any migratory schedule on m machines becomes non-migratory "
+                 "on at most 6m - 5 machines (Theorem 2)");
   cli.check_unknown();
-
-  bench::print_header(
-      "E3: offline migratory -> non-migratory transform",
-      "any migratory schedule on m machines becomes non-migratory on at "
-      "most 6m - 5 machines (Theorem 2)");
+  ctx.config("trials", trials);
+  ctx.config("seed", static_cast<std::int64_t>(seed));
 
   struct Family {
     const char* name;
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  ctx.table("transform vs 6m-5 bound", table);
   std::cout << "\nShape check: the non-migratory machine count stays within "
                "a small constant factor\nof the migratory optimum on every "
                "family -- offline, migration's power is bounded\n(this is "

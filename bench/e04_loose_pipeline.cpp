@@ -19,12 +19,11 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
   const std::int64_t threads_flag = cli.get_int("threads", 0);
+  bench::Run ctx(cli, "E4: constant-competitive pipeline for alpha-loose jobs",
+                 "for fixed alpha < 1, non-migratory online scheduling on "
+                 "O(m) machines (Theorem 5); ratio flat in n and m");
   cli.check_unknown();
-
-  bench::print_header(
-      "E4: constant-competitive pipeline for alpha-loose jobs",
-      "for fixed alpha < 1, non-migratory online scheduling on O(m) "
-      "machines (Theorem 5); ratio flat in n and m");
+  ctx.config("seed", static_cast<std::int64_t>(seed));
 
   struct Setting {
     Rat alpha;
@@ -84,10 +83,11 @@ int main(int argc, char** argv) {
     worst_ratio = std::max(worst_ratio, result.worst_ratio);
   }
   table.print(std::cout);
+  ctx.table("pipeline machines vs OPT", table);
   std::cout << "\nworst observed competitive ratio: "
             << Table::fmt(worst_ratio, 3)
             << "  (paper: O(1), independent of n and m)\n";
-  bench::require(worst_ratio <= 25.0,
-                 "competitive ratio not constant-like");
+  ctx.check("competitive ratio constant-like", Table::fmt(worst_ratio, 3),
+            "25.000", worst_ratio <= 25.0);
   return 0;
 }

@@ -21,12 +21,12 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
   const std::int64_t trials = cli.get_int("trials", 4);
   const std::int64_t threads_flag = cli.get_int("threads", 0);
+  bench::Run ctx(cli, "E8: agreeable instances (Theorems 12 and 14)",
+                 "non-preemptive online schedule on m/(1-a)^2 + 16m/a <= "
+                 "32.70 m machines; optimum near alpha ~ 0.63");
   cli.check_unknown();
-
-  bench::print_header(
-      "E8: agreeable instances (Theorems 12 and 14)",
-      "non-preemptive online schedule on m/(1-a)^2 + 16m/a <= 32.70 m "
-      "machines; optimum near alpha ~ 0.63");
+  ctx.config("seed", static_cast<std::int64_t>(seed));
+  ctx.config("trials", trials);
 
   const Rat alphas[] = {Rat(3, 10), Rat(45, 100), Rat(55, 100),
                         Rat(63, 100), Rat(7, 10), Rat(4, 5)};
@@ -81,9 +81,12 @@ int main(int argc, char** argv) {
                "tight pool avg", "non-preemptive"});
   double best_bound = 1e18;
   Rat best_alpha(0);
+  bool all_within = true;
+  bool all_np = true;
   for (std::size_t index = 0; index < alpha_count; ++index) {
     const AlphaResult& result = results[index];
-    bench::require(result.within_bound, "exceeded the 32.70m bound");
+    all_within = all_within && result.within_bound;
+    all_np = all_np && result.all_nonpreemptive;
     double a = alphas[index].to_double();
     double bound = 1.0 / ((1 - a) * (1 - a)) + 16.0 / a;
     if (bound < best_bound) {
@@ -91,10 +94,13 @@ int main(int argc, char** argv) {
       best_alpha = alphas[index];
     }
     table.add_row(result.row);
-    bench::require(result.all_nonpreemptive,
-                   "schedule was preemptive or migratory");
   }
   table.print(std::cout);
+  ctx.table("alpha sweep vs paper bound", table);
+  ctx.check("machine count within 32.70m", all_within ? "yes" : "no", "yes",
+            all_within);
+  ctx.check("all schedules non-preemptive", all_np ? "yes" : "no", "yes",
+            all_np);
   std::cout << "\nanalytic optimum of the sweep: alpha = "
             << best_alpha.to_string() << " with bound "
             << Table::fmt(best_bound, 2)

@@ -34,12 +34,13 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
   const std::int64_t trials = cli.get_int("trials", 5);
+  bench::Run ctx(cli, "E9: MediumFit on agreeable alpha-tight instances "
+                      "(Lemma 8)",
+                 "peak machine use <= 16 m / alpha; the latest/earliest "
+                 "anchors are not O(m)");
   cli.check_unknown();
-
-  bench::print_header(
-      "E9: MediumFit on agreeable alpha-tight instances (Lemma 8)",
-      "peak machine use <= 16 m / alpha; the latest/earliest anchors are "
-      "not O(m)");
+  ctx.config("seed", static_cast<std::int64_t>(seed));
+  ctx.config("trials", trials);
 
   Table table({"alpha", "m avg", "MediumFit machines avg", "16m/alpha avg",
                "usage/bound avg"});
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
                    Table::fmt(sum_used / sum_bound, 3)});
   }
   table.print(std::cout);
+  ctx.table("MediumFit peak use vs 16m/alpha", table);
 
   // Anchor comparison on the staircase family.
   std::cout << "\nanchor comparison (staircase, OPT = 1):\n";
@@ -96,6 +98,7 @@ int main(int argc, char** argv) {
                    "latest anchor should stack all staircase jobs");
   }
   anchors.print(std::cout);
+  ctx.table("anchor comparison on the staircase (OPT = 1)", anchors);
   std::cout << "\nShape check: LatestFit grows linearly in n at OPT = 1 "
                "(unbounded), the centered\nanchor stays near-constant -- "
                "the paper's justification for running jobs in the middle.\n";

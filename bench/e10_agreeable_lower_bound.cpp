@@ -21,12 +21,13 @@ int main(int argc, char** argv) {
   const std::int64_t m = cli.get_int("m", 16);
   const int rounds = static_cast<int>(cli.get_int("rounds", 60));
   const bool certify = cli.get_bool("certify", true);
+  bench::Run ctx(cli, "E10: lower bound for agreeable instances (Theorem 15)",
+                 "no online algorithm on (6 - 2*sqrt(6) - eps) m ~ 1.101 m "
+                 "machines; identical processing times, agreeable waves");
   cli.check_unknown();
-
-  bench::print_header(
-      "E10: lower bound for agreeable instances (Theorem 15)",
-      "no online algorithm on (6 - 2*sqrt(6) - eps) m ~ 1.101 m machines; "
-      "identical processing times, agreeable waves");
+  ctx.config("m", m);
+  ctx.config("rounds", static_cast<std::int64_t>(rounds));
+  ctx.config("certify", certify ? "true" : "false");
 
   Table table({"opponent", "budget", "budget/m", "rounds survived",
                "threat fired", "missed", "OPT <= m"});
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  ctx.table("wave adversary vs EDF/LLF across budgets", table);
   std::cout << "\nShape check: at budget/m ~ 1.0 every opponent is forced "
                "to miss within a few waves;\nthe survival boundary sits "
                "near the paper's 1.101 threshold, and the released\n"

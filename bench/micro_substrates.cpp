@@ -9,6 +9,7 @@
 #include "minmach/algos/single_machine.hpp"
 #include "minmach/flow/feasibility.hpp"
 #include "minmach/gen/generators.hpp"
+#include "minmach/obs/metrics.hpp"
 #include "minmach/sim/engine.hpp"
 #include "minmach/util/bigint.hpp"
 #include "minmach/util/rng.hpp"
@@ -174,6 +175,65 @@ void BM_SingleMachineAdmission(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SingleMachineAdmission)->Arg(16)->Arg(64);
+
+// ---- observability substrates ------------------------------------------
+//
+// The overhead contract of the obs layer (ISSUE acceptance: <= 2% on
+// BM_RatSmallAdd when compiled out) is measured by building the obs-off
+// preset (MINMACH_OBS=OFF) and comparing BM_RatSmallAdd across the two
+// trees; scripts append the comparison as "obs_overhead" to
+// BENCH_substrates.json. The benches below isolate the primitives.
+
+// The hot-path tally itself: one thread-local uint64 increment when
+// MINMACH_OBS=ON, nothing at all when OFF (the loop then measures pure
+// loop overhead -- the two builds quantify the macro's cost exactly).
+void BM_ObsTallyIncrement(benchmark::State& state) {
+  for (auto _ : state) {
+    MINMACH_OBS_TALLY(rat_fast_ops);
+    benchmark::DoNotOptimize(&obs::hot_tallies);
+  }
+  obs::hot_tallies = {};
+}
+BENCHMARK(BM_ObsTallyIncrement);
+
+// Event-granularity metrics: a relaxed atomic add through a cached
+// reference (how the oracle/simulator instrumentation uses the registry).
+void BM_ObsRegistryCounterAdd(benchmark::State& state) {
+  obs::Counter& counter =
+      obs::Registry::global().counter("bench.obs.counter");
+  for (auto _ : state) {
+    counter.add();
+    benchmark::DoNotOptimize(counter.value());
+  }
+  counter.reset();
+}
+BENCHMARK(BM_ObsRegistryCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram& hist =
+      obs::Registry::global().histogram("bench.obs.hist");
+  std::int64_t sample = 0;
+  for (auto _ : state) {
+    hist.observe(sample++ & 0xfff);
+  }
+  hist.reset();
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+// Snapshot cost with a realistically sized registry (drivers snapshot once
+// per run, so this only needs to be cheap, not free).
+void BM_ObsSnapshot(benchmark::State& state) {
+  obs::Registry& registry = obs::Registry::global();
+  for (int i = 0; i < 32; ++i) {
+    registry.counter("bench.snap.c" + std::to_string(i)).add(i);
+    registry.histogram("bench.snap.h" + std::to_string(i)).observe(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.snapshot());
+  }
+  registry.reset();
+}
+BENCHMARK(BM_ObsSnapshot);
 
 void BM_SimulatorFirstFit(benchmark::State& state) {
   Rng rng(6);

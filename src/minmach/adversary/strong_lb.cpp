@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "minmach/obs/metrics.hpp"
+#include "minmach/obs/trace.hpp"
 #include "minmach/sim/engine.hpp"
 
 namespace minmach {
@@ -36,6 +38,13 @@ class StrongLbGame {
   // `start` on entry and is `result.t0` on exit.
   Level build(int k, const Rat& start, const Rat& scale) {
     if (k < 2) throw std::invalid_argument("strong_lb: k >= 2 required");
+    // Histograms (not gauges): commutative merges keep parallel sweeps
+    // byte-deterministic. den_bits tracks how fast the rescaling blows up
+    // the rationals' denominators per recursion level.
+    obs::Registry& registry = obs::Registry::global();
+    registry.histogram("adversary.level_depth").observe(k);
+    registry.histogram("adversary.den_bits")
+        .observe(static_cast<std::int64_t>(scale.den().bit_length()));
     if (k == 2) return base(start, scale);
 
     Level prev = build(k - 1, start, scale);
@@ -60,6 +69,12 @@ class StrongLbGame {
       for (JobId id : sub.critical) {
         std::size_t m = machine_of(id);
         if (!prev_machines.contains(m)) {
+          obs::Registry::global().counter("adversary.case1").add();
+          if (obs::trace_enabled())
+            obs::trace_event("adversary", "level",
+                             {{"k", k}, {"case", 1}, {"t0", sub.t0},
+                              {"eps", sub.eps},
+                              {"critical", prev.critical.size() + 1}});
           Level out;
           out.critical = prev.critical;
           out.critical.push_back(id);
@@ -104,6 +119,12 @@ class StrongLbGame {
     for (JobId id : prev.critical)
       check(!sim_.remaining(id).is_zero(), "old critical job finished early");
 
+    obs::Registry::global().counter("adversary.case2").add();
+    if (obs::trace_enabled())
+      obs::trace_event("adversary", "level",
+                       {{"k", k}, {"case", 2}, {"t0", t0pp},
+                        {"eps", window - processing},
+                        {"critical", prev.critical.size() + 1}});
     Level out;
     out.critical = prev.critical;
     out.critical.push_back(star_id);
@@ -115,6 +136,7 @@ class StrongLbGame {
 
   // Base gadget I_2 in [start, start + scale).
   Level base(const Rat& start, const Rat& scale) {
+    obs::Registry::global().counter("adversary.base_gadgets").add();
     const Rat alpha = params_.alpha;
     const Rat beta = params_.beta;
 
@@ -204,6 +226,7 @@ StrongLbResult run_strong_lower_bound(OnlinePolicy& policy,
 
   // Let the opponent finish everything it can; then collect the record.
   game.sim_.run_to_completion();
+  game.sim_.publish_metrics(policy.name());
   result.instance = game.sim_.instance();
   result.machines_used = game.sim_.machines_used();
   result.jobs = game.sim_.instance().size();

@@ -6,12 +6,22 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <queue>
 #include <stdexcept>
 #include <vector>
 
 namespace minmach {
+
+// Work counters for one Dinic instance, accumulated across max_flow calls.
+// The feasibility oracle folds these into the metrics registry ("flow.*")
+// after each probe.
+struct DinicStats {
+  std::uint64_t bfs_passes = 0;        // level graphs built
+  std::uint64_t augmenting_paths = 0;  // successful source->sink pushes
+  std::uint64_t edge_visits = 0;       // residual edges scanned (BFS + DFS)
+};
 
 template <typename Cap>
 class Dinic {
@@ -61,11 +71,14 @@ class Dinic {
       while (true) {
         Cap pushed = push(source, sink, Cap(-1));
         if (!(Cap(0) < pushed)) break;
+        ++stats_.augmenting_paths;
         total += pushed;
       }
     }
     return total;
   }
+
+  [[nodiscard]] const DinicStats& stats() const { return stats_; }
 
   // Flow routed through the edge returned by add_edge (reverse residual).
   [[nodiscard]] Cap flow_on(std::size_t handle) const {
@@ -80,6 +93,7 @@ class Dinic {
   };
 
   bool build_levels(std::size_t source, std::size_t sink) {
+    ++stats_.bfs_passes;
     level_.assign(node_count(), -1);
     std::queue<std::size_t> frontier;
     level_[source] = 0;
@@ -87,6 +101,7 @@ class Dinic {
     while (!frontier.empty()) {
       std::size_t node = frontier.front();
       frontier.pop();
+      stats_.edge_visits += adjacency_[node].size();
       for (std::size_t handle : adjacency_[node]) {
         const Edge& edge = edges_[handle];
         if (level_[edge.to] == -1 && Cap(0) < edge.capacity) {
@@ -102,6 +117,7 @@ class Dinic {
   Cap push(std::size_t node, std::size_t sink, Cap limit) {
     if (node == sink) return limit;
     for (std::size_t& i = next_edge_[node]; i < adjacency_[node].size(); ++i) {
+      ++stats_.edge_visits;
       std::size_t handle = adjacency_[node][i];
       Edge& edge = edges_[handle];
       if (!(Cap(0) < edge.capacity) || level_[edge.to] != level_[node] + 1)
@@ -123,6 +139,7 @@ class Dinic {
   std::vector<Cap> initial_;  // capacity of each edge as added / last set
   std::vector<int> level_;
   std::vector<std::size_t> next_edge_;
+  DinicStats stats_;
 };
 
 }  // namespace minmach

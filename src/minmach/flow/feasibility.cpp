@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "minmach/flow/dinic.hpp"
+#include "minmach/obs/metrics.hpp"
+#include "minmach/obs/trace.hpp"
 
 namespace minmach {
 
@@ -121,7 +123,11 @@ struct FeasibilityOracle::Impl {
   std::vector<std::size_t> rsink_handle;
   Rat rtotal_work;
 
+  // flow.* counters already published, so each probe adds only its delta.
+  DinicStats published;
+
   bool probe(std::int64_t machines);
+  void publish_flow_stats();
 };
 
 FeasibilityOracle::FeasibilityOracle(const Instance& instance)
@@ -157,6 +163,14 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance)
     std::sort(ipoints.begin(), ipoints.end());
     ipoints.erase(std::unique(ipoints.begin(), ipoints.end()), ipoints.end());
     const std::size_t isegments = ipoints.empty() ? 0 : ipoints.size() - 1;
+    obs::Registry::global().counter("oracle.builds").add();
+    if (obs::trace_enabled()) {
+      obs::trace_event("oracle", "build",
+                       {{"jobs", im.job_count},
+                        {"segments", isegments},
+                        {"integer_mode", true},
+                        {"load_lb", im.load_lb}});
+    }
     im.sink = n + isegments + 1;
     im.igraph = Dinic<__int128>(n + isegments + 2);
     // Sink capacities start at 0; feasible() retunes them to m * |segment|.
@@ -178,6 +192,14 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance)
     return;
   }
 
+  obs::Registry::global().counter("oracle.builds").add();
+  if (obs::trace_enabled()) {
+    obs::trace_event("oracle", "build",
+                     {{"jobs", im.job_count},
+                      {"segments", segments},
+                      {"integer_mode", false},
+                      {"load_lb", im.load_lb}});
+  }
   im.rgraph = Dinic<Rat>(n + segments + 2);
   for (std::size_t k = 0; k < segments; ++k) {
     im.rseg_length.push_back(points[k + 1] - points[k]);
@@ -200,29 +222,59 @@ FeasibilityOracle::FeasibilityOracle(FeasibilityOracle&&) noexcept = default;
 FeasibilityOracle& FeasibilityOracle::operator=(FeasibilityOracle&&) noexcept =
     default;
 
+void FeasibilityOracle::Impl::publish_flow_stats() {
+  const DinicStats& now = integer_mode ? igraph.stats() : rgraph.stats();
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("flow.bfs_passes").add(now.bfs_passes - published.bfs_passes);
+  registry.counter("flow.augmenting_paths")
+      .add(now.augmenting_paths - published.augmenting_paths);
+  registry.counter("flow.edge_visits")
+      .add(now.edge_visits - published.edge_visits);
+  published = now;
+}
+
 bool FeasibilityOracle::Impl::probe(std::int64_t machines) {
-  if (integer_mode) {
-    for (std::size_t k = 0; k < isink_handle.size(); ++k) {
-      igraph.set_capacity(isink_handle[k],
-                          static_cast<__int128>(machines) * iseg_length[k]);
+  obs::Registry::global().counter("oracle.probes").add();
+  bool result;
+  {
+    obs::ScopedTimer timer(obs::Registry::global().timing("oracle.probe_ns"));
+    if (integer_mode) {
+      for (std::size_t k = 0; k < isink_handle.size(); ++k) {
+        igraph.set_capacity(isink_handle[k],
+                            static_cast<__int128>(machines) * iseg_length[k]);
+      }
+      igraph.reset_flow();
+      result = igraph.max_flow(source, sink) == itotal_work;
+    } else {
+      const Rat m_rat(machines);
+      for (std::size_t k = 0; k < rsink_handle.size(); ++k) {
+        rgraph.set_capacity(rsink_handle[k], m_rat * rseg_length[k]);
+      }
+      rgraph.reset_flow();
+      result = rgraph.max_flow(source, sink) == rtotal_work;
     }
-    igraph.reset_flow();
-    return igraph.max_flow(source, sink) == itotal_work;
   }
-  const Rat m_rat(machines);
-  for (std::size_t k = 0; k < rsink_handle.size(); ++k) {
-    rgraph.set_capacity(rsink_handle[k], m_rat * rseg_length[k]);
+  const DinicStats& now = integer_mode ? igraph.stats() : rgraph.stats();
+  if (obs::trace_enabled()) {
+    obs::trace_event("oracle", "probe",
+                     {{"m", machines},
+                      {"feasible", result},
+                      {"augmenting_paths",
+                       now.augmenting_paths - published.augmenting_paths},
+                      {"integer_mode", integer_mode}});
   }
-  rgraph.reset_flow();
-  return rgraph.max_flow(source, sink) == rtotal_work;
+  publish_flow_stats();
+  return result;
 }
 
 bool FeasibilityOracle::feasible(std::int64_t machines) {
   Impl& im = *impl_;
   if (im.empty) return true;
   if (machines <= 0 || !im.well_formed) return false;
-  if (machines >= im.min_feasible) return true;
-  if (machines <= im.max_infeasible) return false;
+  if (machines >= im.min_feasible || machines <= im.max_infeasible) {
+    obs::Registry::global().counter("oracle.memo_hits").add();
+    return machines >= im.min_feasible;
+  }
   if (im.probe(machines)) {
     im.min_feasible = machines;
     return true;
@@ -244,6 +296,7 @@ std::int64_t FeasibilityOracle::optimal_machines() {
   // binary-search the bracket; feasible() keeps the bracket in its memo.
   std::int64_t m = std::max<std::int64_t>(im.max_infeasible + 1, im.load_lb);
   while (m < im.job_count && !feasible(m)) {
+    obs::Registry::global().counter("oracle.gallop_steps").add();
     m = std::min<std::int64_t>(im.job_count, 2 * m);
   }
   if (m >= im.job_count) (void)feasible(m);  // records the memo endpoint
@@ -251,6 +304,9 @@ std::int64_t FeasibilityOracle::optimal_machines() {
     std::int64_t mid =
         im.max_infeasible + (im.min_feasible - im.max_infeasible) / 2;
     (void)feasible(mid);
+  }
+  if (obs::trace_enabled()) {
+    obs::trace_event("oracle", "verdict", {{"opt", im.min_feasible}});
   }
   return im.min_feasible;
 }
@@ -269,8 +325,15 @@ std::optional<FlowAllocation> solve_migratory(const Instance& instance,
     return FlowAllocation{instance.event_points(), {}};
   if (machines <= 0 || !instance.well_formed()) return std::nullopt;
   Network net = build_network(instance, machines);
-  if (net.graph.max_flow(net.source, net.sink) != net.total_work)
-    return std::nullopt;
+  bool routed = net.graph.max_flow(net.source, net.sink) == net.total_work;
+  {
+    const DinicStats& stats = net.graph.stats();
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter("flow.bfs_passes").add(stats.bfs_passes);
+    registry.counter("flow.augmenting_paths").add(stats.augmenting_paths);
+    registry.counter("flow.edge_visits").add(stats.edge_visits);
+  }
+  if (!routed) return std::nullopt;
 
   FlowAllocation out;
   out.segment_starts = net.points;

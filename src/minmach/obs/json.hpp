@@ -1,0 +1,90 @@
+// Minimal JSON support for the observability layer: a streaming writer with
+// deterministic formatting (fixed indentation, caller-controlled key order,
+// "%.17g" doubles) used by run reports and trace sinks, and a small
+// recursive-descent parser used by the schema checker and the tests to
+// validate what the writer produced. Deliberately not a general JSON
+// library: no unicode escapes beyond \uXXXX pass-through, numbers keep
+// their source text so validators can check canonical formatting.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace minmach::obs {
+
+// Escapes control characters, '"' and '\\' per RFC 8259 (no forward-slash
+// escaping). Returns the body only -- the caller adds the quotes.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+// Streaming writer. The caller opens/closes containers explicitly; the
+// writer tracks nesting to place commas, newlines, and indentation, so the
+// byte output of a fixed call sequence is fixed (the determinism diff in
+// tests/check_driver_determinism.cmake byte-compares report files).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  // Must be called before each member value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(double number);
+  JsonWriter& null();
+
+ private:
+  void separate();  // comma + newline + indent as required
+  void open(char bracket);
+  void close(char bracket);
+
+  struct Frame {
+    bool is_object = false;
+    bool has_members = false;
+  };
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+// Parsed JSON value. Objects preserve member order (so tests can assert on
+// writer ordering); numbers keep their literal text so canonical-format
+// checks (integer seq, "a/b" rationals) do not round-trip through double.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string literal;  // numbers: raw token text
+  std::string text;     // strings: unescaped content
+  std::vector<std::pair<std::string, JsonValue>> members;  // objects
+  std::vector<JsonValue> items;                            // arrays
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  // First member with the key, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(std::string_view name) const;
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed). Throws
+// std::invalid_argument with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace minmach::obs

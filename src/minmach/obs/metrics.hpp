@@ -1,0 +1,221 @@
+// Metrics registry for the minmach substrates, simulator, and experiment
+// drivers.
+//
+// Two tiers, mirroring the two-tier arithmetic it instruments:
+//
+//  * Hot-path tallies (`HotTallies`): a plain thread-local POD of uint64
+//    fields for the per-operation counters inside BigInt/Rat. An increment
+//    of a thread-local word is the cheapest instrumentation possible; with
+//    the CMake option MINMACH_OBS=OFF the MINMACH_OBS_TALLY macro compiles
+//    to nothing, so the arithmetic kernels carry zero overhead.
+//    `drain_hot_tallies()` folds the calling thread's tallies into the
+//    registry; bench::parallel_map drains each worker before it exits, and
+//    Registry::snapshot() drains the calling thread, so totals are complete
+//    whenever a snapshot is taken from the main thread.
+//
+//  * Registered metrics (`Counter`, `Gauge`, `Histogram`, `ScopedTimer`):
+//    named objects in a global `Registry`, updated with relaxed atomics at
+//    event granularity (per oracle probe, per simulator event -- never per
+//    arithmetic op). All aggregation is commutative (sums, min/max), so a
+//    parallel sweep produces the same snapshot at any thread count; that
+//    determinism is enforced by tests and by the --report byte-diff in
+//    tests/check_driver_determinism.cmake.
+//
+// Snapshots separate wall-clock timing histograms (ScopedTimer) from the
+// deterministic metrics: `Snapshot::to_json()` omits timings unless asked,
+// so run reports stay byte-identical across runs and thread counts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#ifndef MINMACH_OBS_ENABLED
+#define MINMACH_OBS_ENABLED 1
+#endif
+
+namespace minmach::obs {
+
+// ---- hot-path tallies --------------------------------------------------
+
+// One field per hot counter; drain_hot_tallies() maps each field to the
+// registry counter named in the comment.
+struct HotTallies {
+  std::uint64_t bigint_promotions = 0;  // "bigint.promotions": results left the small tier
+  std::uint64_t bigint_slow_ops = 0;    // "bigint.slow_ops": limb-path arithmetic calls
+  std::uint64_t rat_fast_ops = 0;       // "rat.fast_ops": int64 fast-path successes
+  std::uint64_t rat_slow_ops = 0;       // "rat.slow_ops": BigInt fallback operations
+};
+
+extern thread_local HotTallies hot_tallies;
+
+// Adds the calling thread's tallies to the registry counters and zeroes
+// them. Must run on every thread that did instrumented arithmetic before
+// its numbers are expected in a snapshot (worker threads: before exit).
+void drain_hot_tallies();
+
+#if MINMACH_OBS_ENABLED
+#define MINMACH_OBS_TALLY(field) (++::minmach::obs::hot_tallies.field)
+#else
+#define MINMACH_OBS_TALLY(field) ((void)0)
+#endif
+
+// ---- registered metrics ------------------------------------------------
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-writer-wins level plus a monotone max. Use only from one logical
+// writer at a time (e.g. the recursion depth of a single adversary game);
+// concurrent set() calls would make the level nondeterministic.
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    update_max(value);
+  }
+  void add(std::int64_t delta) {
+    update_max(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max_value() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void update_max(std::int64_t candidate) {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !max_.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;  // meaningful only when count > 0
+  std::int64_t max = 0;
+  // log2 bucket index (bit_width of the clamped-to->=0 sample) -> count.
+  std::map<int, std::uint64_t> bins;
+
+  friend bool operator==(const HistogramData&, const HistogramData&) = default;
+};
+
+// Log2-bucketed histogram of non-negative integer samples (negative samples
+// clamp to 0). Buckets, count, and sum merge by addition; min/max by
+// min/max -- all commutative, so parallel observation is deterministic.
+class Histogram {
+ public:
+  // timing = true marks a wall-clock-duration histogram (ScopedTimer);
+  // such histograms are segregated into the snapshot's `timings` section
+  // and excluded from deterministic serialization.
+  explicit Histogram(bool timing = false) : timing_(timing) {}
+
+  void observe(std::int64_t sample);
+  [[nodiscard]] bool is_timing() const { return timing_; }
+  [[nodiscard]] HistogramData data() const;
+  void reset();
+
+ private:
+  static constexpr int kBuckets = 65;  // bit_width of a uint64 sample: 0..64
+
+  bool timing_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{INT64_MAX};  // sentinel until first sample
+  std::atomic<std::int64_t> max_{0};
+  std::atomic<std::uint64_t> bins_[kBuckets] = {};
+};
+
+// Records the elapsed wall time in nanoseconds into a timing histogram on
+// destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_.observe(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---- snapshots ---------------------------------------------------------
+
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;      // current value
+  std::map<std::string, std::int64_t> gauge_maxes; // high-water marks
+  std::map<std::string, HistogramData> histograms; // deterministic
+  std::map<std::string, HistogramData> timings;    // wall clock, excluded by default
+
+  // Metric deltas since `baseline`: counters/histograms subtract, gauges
+  // keep this snapshot's values. Missing-in-baseline entries pass through.
+  [[nodiscard]] Snapshot diff(const Snapshot& baseline) const;
+
+  // Deterministic serialization (std::map key order, integer values);
+  // timings only when include_timings. Indented with 2 spaces at `depth`.
+  [[nodiscard]] std::string to_json(bool include_timings = false) const;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+class Registry {
+ public:
+  // Process-wide registry every instrumented component reports into.
+  static Registry& global();
+
+  // Named lookup; creates on first use. References stay valid for the
+  // registry's lifetime (reset() zeroes values, it never deletes metrics).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Histogram& timing(const std::string& name);
+
+  // Drains the calling thread's hot tallies, then copies every metric.
+  [[nodiscard]] Snapshot snapshot();
+
+  // Zeroes every registered metric and the calling thread's hot tallies
+  // (for test isolation). Other threads' undrained tallies are untouched.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace minmach::obs

@@ -1,0 +1,120 @@
+#include "minmach/obs/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "minmach/obs/json.hpp"
+
+namespace minmach::obs {
+
+namespace {
+
+// Fixed-precision decimal so derived ratios serialize byte-stably.
+std::string ratio6(std::uint64_t numerator, std::uint64_t denominator) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f",
+                static_cast<double>(numerator) / static_cast<double>(denominator));
+  return buffer;
+}
+
+void write_metrics(JsonWriter& writer, const Snapshot& metrics) {
+  writer.key("counters").begin_object();
+  for (const auto& [name, value] : metrics.counters) writer.key(name).value(value);
+  writer.end_object();
+  writer.key("gauges").begin_object();
+  for (const auto& [name, value] : metrics.gauges) {
+    writer.key(name).begin_object();
+    writer.key("value").value(value);
+    auto it = metrics.gauge_maxes.find(name);
+    writer.key("max").value(it == metrics.gauge_maxes.end() ? value : it->second);
+    writer.end_object();
+  }
+  writer.end_object();
+  writer.key("histograms").begin_object();
+  for (const auto& [name, data] : metrics.histograms) {
+    writer.key(name).begin_object();
+    writer.key("count").value(data.count);
+    writer.key("sum").value(data.sum);
+    writer.key("min").value(data.min);
+    writer.key("max").value(data.max);
+    writer.key("bins").begin_object();
+    for (const auto& [bucket, n] : data.bins) {
+      writer.key(std::to_string(bucket)).value(n);
+    }
+    writer.end_object();
+    writer.end_object();
+  }
+  writer.end_object();
+  // Derived ratios the acceptance criteria ask for directly.
+  writer.key("derived").begin_object();
+  auto fast = metrics.counters.find("rat.fast_ops");
+  auto slow = metrics.counters.find("rat.slow_ops");
+  std::uint64_t fast_n = fast == metrics.counters.end() ? 0 : fast->second;
+  std::uint64_t slow_n = slow == metrics.counters.end() ? 0 : slow->second;
+  if (fast_n + slow_n > 0) {
+    writer.key("rat_fast_hit_rate").value(ratio6(fast_n, fast_n + slow_n));
+  }
+  writer.end_object();
+}
+
+}  // namespace
+
+void RunReport::write_json(std::ostream& os) const {
+  JsonWriter writer(os);
+  writer.begin_object();
+  writer.key("schema").value(kReportSchema);
+  writer.key("experiment").value(experiment);
+  writer.key("claim").value(claim);
+  writer.key("config").begin_object();
+  for (const auto& [key, value] : config) writer.key(key).value(value);
+  writer.end_object();
+  writer.key("tables").begin_array();
+  for (const ReportTable& table : tables) {
+    writer.begin_object();
+    writer.key("title").value(table.title);
+    writer.key("header").begin_array();
+    for (const std::string& cell : table.header) writer.value(cell);
+    writer.end_array();
+    writer.key("rows").begin_array();
+    for (const auto& row : table.rows) {
+      writer.begin_array();
+      for (const std::string& cell : row) writer.value(cell);
+      writer.end_array();
+    }
+    writer.end_array();
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.key("checks").begin_array();
+  for (const ReportCheck& check : checks) {
+    writer.begin_object();
+    writer.key("name").value(check.name);
+    writer.key("measured").value(check.measured);
+    writer.key("bound").value(check.bound);
+    writer.key("ok").value(check.ok);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.key("checks_ok").value(all_checks_ok());
+  writer.key("metrics").begin_object();
+  write_metrics(writer, metrics);
+  writer.end_object();
+  writer.end_object();
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void save_report(const std::string& path, const RunReport& report) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_report: cannot open " + path);
+  report.write_json(os);
+  if (!os) throw std::runtime_error("save_report: write failed for " + path);
+}
+
+}  // namespace minmach::obs

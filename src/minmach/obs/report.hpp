@@ -1,0 +1,63 @@
+// Machine-readable run reports for the bench drivers.
+//
+// A `RunReport` captures one driver run: the experiment name and claim, the
+// configuration actually used (ordered key/value pairs, excluding
+// reproducibility-neutral flags like --threads), every result table the
+// driver printed, the measured-vs-bound checks it asserted, and a metrics
+// snapshot from the global registry. `to_json()` is deterministic -- fixed
+// key order, integer metrics, no wall-clock timings -- so a report is
+// byte-identical across runs and thread counts; the determinism harness
+// (tests/check_driver_determinism.cmake) diffs reports at --threads=1 vs 4.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minmach/obs/metrics.hpp"
+
+namespace minmach::obs {
+
+inline constexpr std::string_view kReportSchema = "minmach-report-v1";
+
+// One measured-vs-bound assertion (e.g. "machines used <= e * OPT").
+struct ReportCheck {
+  std::string name;
+  std::string measured;  // exact string (rational or integer)
+  std::string bound;
+  bool ok = false;
+};
+
+// One result table, as header + stringified rows (mirrors util::Table).
+struct ReportTable {
+  std::string title;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct RunReport {
+  std::string experiment;  // e.g. "e05_migration_gap"
+  std::string claim;       // the paper claim the experiment exercises
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<ReportTable> tables;
+  std::vector<ReportCheck> checks;
+  Snapshot metrics;
+
+  [[nodiscard]] bool all_checks_ok() const {
+    for (const ReportCheck& check : checks)
+      if (!check.ok) return false;
+    return true;
+  }
+
+  // Deterministic serialization; includes derived ratios (rat fast-path hit
+  // rate) rounded to 6 decimal places so they are byte-stable.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+// Writes the report to `path`; throws std::runtime_error on I/O failure.
+void save_report(const std::string& path, const RunReport& report);
+
+}  // namespace minmach::obs

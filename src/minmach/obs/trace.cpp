@@ -1,0 +1,127 @@
+#include "minmach/obs/trace.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "minmach/obs/json.hpp"
+
+namespace minmach::obs {
+
+std::atomic<TraceSink*> TraceSink::global_{nullptr};
+
+TraceSink::TraceSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(*owned_) {
+  if (!*owned_)
+    throw std::runtime_error("TraceSink: cannot open " + path);
+}
+
+TraceSink::TraceSink(std::ostream& os) : os_(os) {}
+
+TraceSink::~TraceSink() { os_.flush(); }
+
+void TraceSink::event(std::string_view category, std::string_view name,
+                      std::initializer_list<TraceField> fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os_ << "{\"seq\":" << next_seq_++ << ",\"cat\":\"" << json_escape(category)
+      << "\",\"ev\":\"" << json_escape(name) << '"';
+  for (const TraceField& field : fields) {
+    os_ << ",\"" << json_escape(field.key) << "\":";
+    switch (field.kind) {
+      case TraceField::Kind::kInt: os_ << field.int_value; break;
+      case TraceField::Kind::kUint: os_ << field.uint_value; break;
+      case TraceField::Kind::kDouble: {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", field.double_value);
+        os_ << buffer;
+        break;
+      }
+      case TraceField::Kind::kBool:
+        os_ << (field.bool_value ? "true" : "false");
+        break;
+      case TraceField::Kind::kString:
+        os_ << '"' << json_escape(field.string_value) << '"';
+        break;
+    }
+  }
+  os_ << "}\n";
+}
+
+std::uint64_t TraceSink::events_written() const { return next_seq_; }
+
+void trace_event(std::string_view category, std::string_view name,
+                 std::initializer_list<TraceField> fields) {
+  if (TraceSink* sink = TraceSink::global()) sink->event(category, name, fields);
+}
+
+// ---- Chrome trace_event export -----------------------------------------
+
+void write_chrome_trace(std::ostream& os, const Instance& instance,
+                        const Schedule& schedule, std::string_view name,
+                        double microseconds_per_unit) {
+  JsonWriter writer(os);
+  writer.begin_object();
+  writer.key("displayTimeUnit").value("ms");
+  writer.key("otherData").begin_object();
+  writer.key("name").value(name);
+  writer.key("machines").value(static_cast<std::uint64_t>(schedule.machine_count()));
+  writer.key("jobs").value(static_cast<std::uint64_t>(instance.size()));
+  writer.end_object();
+  writer.key("traceEvents").begin_array();
+  // Track naming: pid 0 is the schedule, tid m is machine m.
+  writer.begin_object();
+  writer.key("name").value("process_name");
+  writer.key("ph").value("M");
+  writer.key("pid").value(0);
+  writer.key("args").begin_object();
+  writer.key("name").value(name);
+  writer.end_object();
+  writer.end_object();
+  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
+    writer.begin_object();
+    writer.key("name").value("thread_name");
+    writer.key("ph").value("M");
+    writer.key("pid").value(0);
+    writer.key("tid").value(static_cast<std::uint64_t>(m));
+    writer.key("args").begin_object();
+    writer.key("name").value("machine " + std::to_string(m));
+    writer.end_object();
+    writer.end_object();
+  }
+  for (std::size_t m = 0; m < schedule.machine_count(); ++m) {
+    for (const Slot& slot : schedule.slots(m)) {
+      writer.begin_object();
+      writer.key("name").value("job " + std::to_string(slot.job));
+      writer.key("cat").value("slot");
+      writer.key("ph").value("X");
+      writer.key("ts").value(slot.start.to_double() * microseconds_per_unit);
+      writer.key("dur").value(slot.length().to_double() * microseconds_per_unit);
+      writer.key("pid").value(0);
+      writer.key("tid").value(static_cast<std::uint64_t>(m));
+      writer.key("args").begin_object();
+      writer.key("job").value(static_cast<std::uint64_t>(slot.job));
+      writer.key("start").value(slot.start.to_string());
+      writer.key("end").value(slot.end.to_string());
+      if (slot.job < instance.size()) {
+        const Job& job = instance.job(slot.job);
+        writer.key("release").value(job.release.to_string());
+        writer.key("deadline").value(job.deadline.to_string());
+        writer.key("processing").value(job.processing.to_string());
+      }
+      writer.end_object();
+      writer.end_object();
+    }
+  }
+  writer.end_array();
+  writer.end_object();
+}
+
+void save_chrome_trace(const std::string& path, const Instance& instance,
+                       const Schedule& schedule, std::string_view name,
+                       double microseconds_per_unit) {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("save_chrome_trace: cannot open " + path);
+  write_chrome_trace(os, instance, schedule, name, microseconds_per_unit);
+}
+
+}  // namespace minmach::obs

@@ -1,0 +1,128 @@
+// Structured event tracing.
+//
+// `TraceSink` writes one JSON object per line (JSONL): a monotonically
+// increasing "seq", a category ("sim", "oracle", "adversary", ...), an
+// event name, and typed fields. Exact rational times are written as their
+// canonical to_string() ("a/b" reduced, positive denominator, or a plain
+// integer), so traces are diffable and replayable without float loss; the
+// schema checker (tests/obs_schema_check.cpp) verifies canonical form by
+// round-tripping through Rat::from_string.
+//
+// Instrumented components emit through the process-global sink when one is
+// installed (bench drivers install it for --trace=FILE); with no sink the
+// cost is one relaxed atomic pointer load per would-be event.
+//
+// `write_chrome_trace` exports a Schedule as a Chrome trace_event JSON
+// file -- one complete ("X") event per slot, one track (tid) per machine --
+// loadable in chrome://tracing or Perfetto. This turns Figure 1 (the
+// 3-machine offline schedule of the adversarial instance) into an
+// interactive timeline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+#include "minmach/util/rational.hpp"
+
+namespace minmach::obs {
+
+// A typed key/value pair for one trace event. Implicit constructors let
+// call sites write {"job", id}, {"t", now}, {"feasible", true}.
+struct TraceField {
+  enum class Kind { kInt, kUint, kDouble, kBool, kString };
+
+  TraceField(const char* key, std::int64_t value)
+      : key(key), kind(Kind::kInt), int_value(value) {}
+  TraceField(const char* key, int value)
+      : TraceField(key, static_cast<std::int64_t>(value)) {}
+  TraceField(const char* key, std::uint64_t value)
+      : key(key), kind(Kind::kUint), uint_value(value) {}
+  TraceField(const char* key, unsigned value)
+      : TraceField(key, static_cast<std::uint64_t>(value)) {}
+  TraceField(const char* key, double value)
+      : key(key), kind(Kind::kDouble), double_value(value) {}
+  TraceField(const char* key, bool value)
+      : key(key), kind(Kind::kBool), bool_value(value) {}
+  TraceField(const char* key, std::string value)
+      : key(key), kind(Kind::kString), string_value(std::move(value)) {}
+  TraceField(const char* key, std::string_view value)
+      : TraceField(key, std::string(value)) {}
+  TraceField(const char* key, const char* value)
+      : TraceField(key, std::string(value)) {}
+  TraceField(const char* key, const Rat& value)
+      : TraceField(key, value.to_string()) {}
+
+  const char* key;
+  Kind kind;
+  std::int64_t int_value = 0;
+  std::uint64_t uint_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+  std::string string_value;
+};
+
+class TraceSink {
+ public:
+  // Throws std::runtime_error if the file cannot be opened.
+  explicit TraceSink(const std::string& path);
+  // Streams to a caller-owned ostream (tests).
+  explicit TraceSink(std::ostream& os);
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Writes {"seq":N,"cat":...,"ev":...,<fields...>}. Thread-safe; seq is
+  // assigned under the writer lock so lines are totally ordered.
+  void event(std::string_view category, std::string_view name,
+             std::initializer_list<TraceField> fields);
+
+  [[nodiscard]] std::uint64_t events_written() const;
+
+  // Process-global sink the instrumented components emit through. The
+  // installer owns the sink and must clear the global before destroying it.
+  static TraceSink* global() {
+    return global_.load(std::memory_order_acquire);
+  }
+  static void set_global(TraceSink* sink) {
+    global_.store(sink, std::memory_order_release);
+  }
+
+ private:
+  static std::atomic<TraceSink*> global_;
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream& os_;
+  std::mutex mutex_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// Emits through the global sink when installed; no-op otherwise. The
+// fields list is only evaluated at the call site, so keep argument
+// construction cheap or guard with trace_enabled().
+[[nodiscard]] inline bool trace_enabled() {
+  return TraceSink::global() != nullptr;
+}
+void trace_event(std::string_view category, std::string_view name,
+                 std::initializer_list<TraceField> fields);
+
+// Chrome trace_event export of a concrete schedule. Rational times are
+// scaled by `microseconds_per_unit` into the ts/dur floats Chrome expects
+// (exact values are preserved in each event's args). Slots are emitted in
+// (machine, start) order, so output is deterministic.
+void write_chrome_trace(std::ostream& os, const Instance& instance,
+                        const Schedule& schedule, std::string_view name,
+                        double microseconds_per_unit = 1e6);
+void save_chrome_trace(const std::string& path, const Instance& instance,
+                       const Schedule& schedule, std::string_view name,
+                       double microseconds_per_unit = 1e6);
+
+}  // namespace minmach::obs

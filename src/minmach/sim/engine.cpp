@@ -1,6 +1,10 @@
 #include "minmach/sim/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "minmach/obs/metrics.hpp"
+#include "minmach/obs/trace.hpp"
 
 namespace minmach {
 
@@ -29,6 +33,7 @@ JobId Simulator::submit(const Job& job) {
   released_.push_back(false);
   finished_.push_back(false);
   missed_.push_back(false);
+  last_machine_.push_back(kNeverRan);
   pending_.push({job.release, id});
   return id;
 }
@@ -76,12 +81,17 @@ JobId Simulator::running_on(std::size_t machine) const {
 }
 
 void Simulator::deliver_events_at_now() {
+  const bool tracing = obs::trace_enabled();
   // 1. Completions among running jobs.
   for (std::size_t m = 0; m < running_.size(); ++m) {
     JobId job = running_[m];
     if (job != kInvalidJob && remaining_[job].is_zero()) {
       finished_[job] = true;
       running_[m] = kInvalidJob;
+      ++stats_.completions;
+      if (tracing)
+        obs::trace_event("sim", "complete",
+                         {{"t", now_}, {"job", job}, {"machine", m}});
       policy_.on_complete(*this, job);
     }
   }
@@ -93,6 +103,11 @@ void Simulator::deliver_events_at_now() {
       missed_list_.push_back(id);
       for (auto& slot : running_)
         if (slot == id) slot = kInvalidJob;
+      ++stats_.misses;
+      if (tracing)
+        obs::trace_event("sim", "miss",
+                         {{"t", now_}, {"job", id},
+                          {"remaining", remaining_[id]}});
       policy_.on_miss(*this, id);
     }
   }
@@ -101,10 +116,33 @@ void Simulator::deliver_events_at_now() {
     JobId id = pending_.top().job;
     pending_.pop();
     released_[id] = true;
+    ++stats_.releases;
+    if (tracing) {
+      const Job& job = instance_.job(id);
+      obs::trace_event("sim", "release",
+                       {{"t", now_}, {"job", id},
+                        {"deadline", job.deadline},
+                        {"processing", job.processing}});
+    }
     policy_.on_release(*this, id);
   }
   // 4. Let the policy (re)decide what runs.
-  policy_.dispatch(*this);
+  ++stats_.dispatches;
+  if (tracing) {
+    std::vector<JobId> before = running_;
+    policy_.dispatch(*this);
+    for (std::size_t m = 0; m < running_.size(); ++m) {
+      JobId job = running_[m];
+      if ((m < before.size() ? before[m] : kInvalidJob) == job) continue;
+      obs::trace_event(
+          "sim", "dispatch",
+          {{"t", now_}, {"machine", m},
+           {"job", job == kInvalidJob ? std::int64_t{-1}
+                                      : static_cast<std::int64_t>(job)}});
+    }
+  } else {
+    policy_.dispatch(*this);
+  }
 }
 
 Rat Simulator::next_event_time(const Rat& horizon) {
@@ -119,16 +157,43 @@ Rat Simulator::next_event_time(const Rat& horizon) {
     if (released_[id] && !finished_[id] && !missed_[id])
       next = Rat::min(next, instance_.job(id).deadline);
   }
-  if (auto wakeup = policy_.next_wakeup(*this); wakeup && now_ < *wakeup)
+  if (auto wakeup = policy_.next_wakeup(*this); wakeup && now_ < *wakeup) {
+    if (*wakeup <= next && obs::trace_enabled())
+      obs::trace_event("sim", "wakeup", {{"t", *wakeup}});
     next = Rat::min(next, *wakeup);
+  }
   return Rat::max(next, now_);
 }
 
 void Simulator::advance_to(const Rat& t) {
+  const bool tracing = obs::trace_enabled();
+  // A job that was processed in the previous slice, still has work left, but
+  // does not run in this slice was preempted; one that resumes on a machine
+  // other than the one it last ran on migrated.
+  for (JobId job : prev_slice_jobs_) {
+    if (finished_[job] || missed_[job]) continue;
+    if (std::find(running_.begin(), running_.end(), job) == running_.end()) {
+      ++stats_.preemptions;
+      if (tracing)
+        obs::trace_event("sim", "preempt",
+                         {{"t", now_}, {"job", job},
+                          {"remaining", remaining_[job]}});
+    }
+  }
+  prev_slice_jobs_.clear();
   const Rat span = t - now_;
   for (std::size_t m = 0; m < running_.size(); ++m) {
     JobId job = running_[m];
     if (job == kInvalidJob) continue;
+    if (last_machine_[job] != kNeverRan && last_machine_[job] != m) {
+      ++stats_.migrations;
+      if (tracing)
+        obs::trace_event("sim", "migrate",
+                         {{"t", now_}, {"job", job},
+                          {"from", last_machine_[job]}, {"to", m}});
+    }
+    last_machine_[job] = m;
+    prev_slice_jobs_.push_back(job);
     trace_.add_slot(m, now_, t, job);
     if (!machine_touched_[m]) {
       machine_touched_[m] = true;
@@ -166,11 +231,25 @@ void Simulator::run_to_completion() {
   }
 }
 
+void Simulator::publish_metrics(const std::string& label) const {
+  obs::Registry& registry = obs::Registry::global();
+  const std::string prefix = "sim." + label + ".";
+  registry.counter(prefix + "releases").add(stats_.releases);
+  registry.counter(prefix + "completions").add(stats_.completions);
+  registry.counter(prefix + "misses").add(stats_.misses);
+  registry.counter(prefix + "dispatches").add(stats_.dispatches);
+  registry.counter(prefix + "preemptions").add(stats_.preemptions);
+  registry.counter(prefix + "migrations").add(stats_.migrations);
+  registry.histogram(prefix + "machines_used")
+      .observe(static_cast<std::int64_t>(machines_used_));
+}
+
 SimRun simulate(OnlinePolicy& policy, const Instance& instance, Rat speed,
                 bool require_no_miss) {
   Simulator sim(policy, std::move(speed));
   sim.submit_all(instance);
   sim.run_to_completion();
+  sim.publish_metrics(policy.name());
   SimRun run;
   run.schedule = sim.schedule();
   run.machines_used = sim.machines_used();

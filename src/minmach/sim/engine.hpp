@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <queue>
 #include <string>
@@ -28,6 +29,20 @@
 namespace minmach {
 
 class Simulator;
+
+// Live event counts for one simulation. Preemptions and migrations are
+// counted as they happen (a job set aside with work left; a job resuming on
+// a different machine than it last ran on), which matches
+// Schedule::preemption_count / migration_count on the canonicalized trace
+// for non-degenerate schedules but is defined operationally, not post-hoc.
+struct SimStats {
+  std::uint64_t releases = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t migrations = 0;
+};
 
 class OnlinePolicy {
  public:
@@ -98,6 +113,12 @@ class Simulator {
   [[nodiscard]] Schedule schedule() const;
   [[nodiscard]] std::size_t machines_used() const { return machines_used_; }
 
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+  // Folds the run's event counts into the metrics registry under
+  // "sim.<label>.*" (label is usually the policy name). Counters add and
+  // machine counts go to a histogram, so sweep aggregation is commutative.
+  void publish_metrics(const std::string& label) const;
+
   [[nodiscard]] OnlinePolicy& policy() { return policy_; }
 
  private:
@@ -131,6 +152,11 @@ class Simulator {
   Schedule trace_;
   std::vector<bool> machine_touched_;
   std::size_t machines_used_ = 0;
+
+  SimStats stats_;
+  std::vector<JobId> prev_slice_jobs_;      // jobs processed in the last slice
+  std::vector<std::size_t> last_machine_;   // per job; kNeverRan until first run
+  static constexpr std::size_t kNeverRan = static_cast<std::size_t>(-1);
 };
 
 // Convenience driver: simulate the full instance against the policy and

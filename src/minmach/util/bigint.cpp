@@ -1,6 +1,8 @@
 #include "minmach/util/bigint.hpp"
 
 #include <algorithm>
+
+#include "minmach/obs/metrics.hpp"
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -263,6 +265,7 @@ void BigInt::assign_mag(std::vector<Limb>&& mag, bool negative) {
       return;
     }
   }
+  MINMACH_OBS_TALLY(bigint_promotions);
   small_ = false;
   value_ = 0;
   negative_ = negative;
@@ -340,6 +343,7 @@ int BigInt::compare_slow(const BigInt& lhs, const BigInt& rhs) {
 }
 
 BigInt& BigInt::add_sub_slow(const BigInt& rhs, bool negate_rhs) {
+  MINMACH_OBS_TALLY(bigint_slow_ops);
   bool lneg = is_negative();
   bool rneg = rhs.is_negative() != negate_rhs;
   if (rhs.is_zero()) rneg = false;
@@ -365,6 +369,7 @@ BigInt& BigInt::add_sub_slow(const BigInt& rhs, bool negate_rhs) {
 }
 
 BigInt& BigInt::mul_slow(const BigInt& rhs) {
+  MINMACH_OBS_TALLY(bigint_slow_ops);
   bool negative = is_negative() != rhs.is_negative();
   Limb ls;
   Limb rs;
@@ -395,11 +400,13 @@ BigIntDivMod BigInt::div_mod(const BigInt& dividend, const BigInt& divisor) {
 }
 
 BigInt& BigInt::div_slow(const BigInt& rhs) {
+  MINMACH_OBS_TALLY(bigint_slow_ops);
   *this = div_mod(*this, rhs).quotient;
   return *this;
 }
 
 BigInt& BigInt::mod_slow(const BigInt& rhs) {
+  MINMACH_OBS_TALLY(bigint_slow_ops);
   *this = div_mod(*this, rhs).remainder;
   return *this;
 }

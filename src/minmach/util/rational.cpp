@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "minmach/obs/metrics.hpp"
+
 namespace minmach {
 
 namespace {
@@ -217,8 +219,10 @@ Rat& Rat::add_slow(const Rat& rhs, bool negate_rhs) {
 Rat& Rat::operator+=(const Rat& rhs) {
   if (both_small(num_, den_) && both_small(rhs.num_, rhs.den_) &&
       add_small(rhs, /*negate_rhs=*/false)) [[likely]] {
+    MINMACH_OBS_TALLY(rat_fast_ops);
     return *this;
   }
+  MINMACH_OBS_TALLY(rat_slow_ops);
   return add_slow(rhs, /*negate_rhs=*/false);
 }
 
@@ -230,16 +234,20 @@ Rat& Rat::operator-=(const Rat& rhs) {
   }
   if (both_small(num_, den_) && both_small(rhs.num_, rhs.den_) &&
       add_small(rhs, /*negate_rhs=*/true)) [[likely]] {
+    MINMACH_OBS_TALLY(rat_fast_ops);
     return *this;
   }
+  MINMACH_OBS_TALLY(rat_slow_ops);
   return add_slow(rhs, /*negate_rhs=*/true);
 }
 
 Rat& Rat::operator*=(const Rat& rhs) {
   if (both_small(num_, den_) && both_small(rhs.num_, rhs.den_) &&
       mul_small(rhs)) [[likely]] {
+    MINMACH_OBS_TALLY(rat_fast_ops);
     return *this;
   }
+  MINMACH_OBS_TALLY(rat_slow_ops);
   BigInt g1 = BigInt::gcd(num_, rhs.den_);
   BigInt g2 = BigInt::gcd(rhs.num_, den_);
   num_ = (num_ / g1) * (rhs.num_ / g2);
@@ -257,8 +265,10 @@ Rat& Rat::operator/=(const Rat& rhs) {
   }
   if (both_small(num_, den_) && both_small(rhs.num_, rhs.den_) &&
       div_small(rhs)) [[likely]] {
+    MINMACH_OBS_TALLY(rat_fast_ops);
     return *this;
   }
+  MINMACH_OBS_TALLY(rat_slow_ops);
   BigInt g1 = BigInt::gcd(num_, rhs.num_);
   BigInt g2 = BigInt::gcd(den_, rhs.den_);
   num_ = (num_ / g1) * (rhs.den_ / g2);

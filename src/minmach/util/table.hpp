@@ -20,6 +20,14 @@ class Table {
 
   void print(std::ostream& os) const;
 
+  // Raw cells, so run reports can embed the table structurally.
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,48 @@
+# End-to-end smoke test of the observability plumbing: runs a sweep driver
+# with --report/--trace and the figure driver with --chrome-trace, then
+# validates every artifact with obs_schema_check (report schema, JSONL seq
+# ordering, canonical rationals, Chrome trace_event shape).
+# Invoked by ctest with -DDRIVER=<sweep-binary> -DFIGURE=<figure-binary>
+# -DCHECKER=<obs_schema_check> [-DEXTRA_ARGS=...] [-DFIGURE_ARGS=...].
+foreach(var DRIVER FIGURE CHECKER)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} not set")
+  endif()
+endforeach()
+
+set(args "")
+if(DEFINED EXTRA_ARGS)
+  separate_arguments(args UNIX_COMMAND "${EXTRA_ARGS}")
+endif()
+set(figure_args "")
+if(DEFINED FIGURE_ARGS)
+  separate_arguments(figure_args UNIX_COMMAND "${FIGURE_ARGS}")
+endif()
+
+set(report ${CMAKE_CURRENT_BINARY_DIR}/obs_smoke_report.json)
+set(trace ${CMAKE_CURRENT_BINARY_DIR}/obs_smoke_trace.jsonl)
+set(chrome ${CMAKE_CURRENT_BINARY_DIR}/obs_smoke_chrome.json)
+
+execute_process(
+  COMMAND ${DRIVER} ${args} --report=${report} --trace=${trace}
+  OUTPUT_VARIABLE driver_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${DRIVER} exited with ${rc}:\n${driver_out}")
+endif()
+
+execute_process(
+  COMMAND ${FIGURE} ${figure_args} --chrome-trace=${chrome}
+  OUTPUT_VARIABLE figure_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${FIGURE} exited with ${rc}:\n${figure_out}")
+endif()
+
+execute_process(
+  COMMAND ${CHECKER} --report=${report} --trace=${trace} --chrome=${chrome}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_schema_check rejected the artifacts (rc=${rc})")
+endif()
+message(STATUS "observability artifacts validated")

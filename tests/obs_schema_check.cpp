@@ -1,0 +1,216 @@
+// Schema checker for the observability artifacts, run by the obs-smoke
+// ctest (tests/check_obs_smoke.cmake) against a real driver's output:
+//
+//   obs_schema_check --report=FILE   validates a minmach-report-v1 document
+//   obs_schema_check --trace=FILE    validates a JSONL trace
+//   obs_schema_check --chrome=FILE   validates a Chrome trace_event file
+//
+// Any combination may be given; exits non-zero with a diagnostic on the
+// first violation. Beyond structure, it checks the exactness contract:
+// rational-looking string fields must be in canonical form (round-trip
+// through Rat::from_string unchanged) and trace "seq" values must be the
+// consecutive integers 0, 1, 2, ...
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "minmach/obs/json.hpp"
+#include "minmach/obs/report.hpp"
+#include "minmach/util/cli.hpp"
+#include "minmach/util/rational.hpp"
+
+namespace {
+
+using minmach::Rat;
+using minmach::obs::JsonValue;
+using minmach::obs::parse_json;
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "obs_schema_check: " << message << "\n";
+  std::exit(1);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool looks_rational(const std::string& text) {
+  if (text.empty()) return false;
+  std::size_t i = text[0] == '-' ? 1 : 0;
+  if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i])))
+    return false;
+  bool slash = false;
+  for (; i < text.size(); ++i) {
+    if (text[i] == '/') {
+      if (slash || i + 1 == text.size()) return false;
+      slash = true;
+    } else if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Canonical form: what Rat prints is what we accept ("3/2" yes, "6/4" and
+// "3/1" no). from_string throws on junk; unequal round-trip means
+// non-canonical.
+void check_canonical_rational(const std::string& text,
+                              const std::string& where) {
+  try {
+    if (Rat::from_string(text).to_string() != text)
+      fail(where + ": non-canonical rational \"" + text + "\"");
+  } catch (const std::exception& e) {
+    fail(where + ": unparsable rational \"" + text + "\": " + e.what());
+  }
+}
+
+void check_report(const std::string& path) {
+  JsonValue v = parse_json(slurp(path));
+  if (!v.is_object()) fail("report is not a JSON object");
+  const JsonValue* schema = v.find("schema");
+  if (schema == nullptr || schema->text != minmach::obs::kReportSchema)
+    fail("report schema missing or not minmach-report-v1");
+  for (const char* key : {"experiment", "claim"}) {
+    const JsonValue* field = v.find(key);
+    if (field == nullptr || !field->is_string() || field->text.empty())
+      fail(std::string("report: missing or empty \"") + key + "\"");
+  }
+  const JsonValue* config = v.find("config");
+  if (config == nullptr || !config->is_object())
+    fail("report: \"config\" must be an object");
+  for (const auto& [key, value] : config->members) {
+    if (key == "threads" || key == "report" || key == "trace")
+      fail("report config leaks reproducibility-neutral flag --" + key);
+    (void)value;
+  }
+  const JsonValue* tables = v.find("tables");
+  if (tables == nullptr || !tables->is_array())
+    fail("report: \"tables\" must be an array");
+  for (const JsonValue& table : tables->items) {
+    const JsonValue* header = table.find("header");
+    const JsonValue* rows = table.find("rows");
+    if (table.find("title") == nullptr || header == nullptr ||
+        rows == nullptr)
+      fail("report table: needs title/header/rows");
+    for (const JsonValue& row : rows->items) {
+      if (row.items.size() != header->items.size())
+        fail("report table \"" + table.find("title")->text +
+             "\": row width != header width");
+    }
+  }
+  const JsonValue* checks = v.find("checks");
+  if (checks == nullptr || !checks->is_array())
+    fail("report: \"checks\" must be an array");
+  bool all_ok = true;
+  for (const JsonValue& check : checks->items) {
+    for (const char* key : {"name", "measured", "bound"}) {
+      if (check.find(key) == nullptr)
+        fail(std::string("report check: missing \"") + key + "\"");
+    }
+    const JsonValue* ok = check.find("ok");
+    if (ok == nullptr || ok->kind != JsonValue::Kind::kBool)
+      fail("report check: \"ok\" must be a bool");
+    all_ok = all_ok && ok->boolean;
+  }
+  const JsonValue* checks_ok = v.find("checks_ok");
+  if (checks_ok == nullptr || checks_ok->boolean != all_ok)
+    fail("report: \"checks_ok\" disagrees with the checks array");
+  const JsonValue* metrics = v.find("metrics");
+  if (metrics == nullptr || metrics->find("counters") == nullptr)
+    fail("report: \"metrics.counters\" missing");
+  for (const auto& [name, value] : metrics->find("counters")->members) {
+    if (!value.is_number() ||
+        value.literal.find_first_of(".eE") != std::string::npos)
+      fail("report counter \"" + name + "\" is not an integer");
+  }
+  std::cout << "report ok: " << path << " ("
+            << checks->items.size() << " checks, "
+            << metrics->find("counters")->members.size() << " counters)\n";
+}
+
+void check_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  std::string line;
+  std::uint64_t expected_seq = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) fail("trace: empty line at seq " +
+                           std::to_string(expected_seq));
+    JsonValue v;
+    try {
+      v = parse_json(line);
+    } catch (const std::exception& e) {
+      fail("trace line " + std::to_string(expected_seq) + ": " + e.what());
+    }
+    if (!v.is_object() || v.members.size() < 3 ||
+        v.members[0].first != "seq" || v.members[1].first != "cat" ||
+        v.members[2].first != "ev")
+      fail("trace line " + std::to_string(expected_seq) +
+           ": must start with seq/cat/ev");
+    if (v.find("seq")->literal != std::to_string(expected_seq))
+      fail("trace: seq " + v.find("seq")->literal + " != expected " +
+           std::to_string(expected_seq));
+    if (!v.find("cat")->is_string() || !v.find("ev")->is_string())
+      fail("trace line " + std::to_string(expected_seq) +
+           ": cat/ev must be strings");
+    // Every string field that looks like a rational must be canonical.
+    for (const auto& [key, value] : v.members) {
+      if (value.is_string() && looks_rational(value.text))
+        check_canonical_rational(
+            value.text, "trace seq " + std::to_string(expected_seq) +
+                            " field \"" + key + "\"");
+    }
+    ++expected_seq;
+  }
+  if (expected_seq == 0) fail("trace: no events in " + path);
+  std::cout << "trace ok: " << path << " (" << expected_seq << " events)\n";
+}
+
+void check_chrome(const std::string& path) {
+  JsonValue v = parse_json(slurp(path));
+  const JsonValue* events = v.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    fail("chrome trace: \"traceEvents\" array missing");
+  std::size_t slots = 0;
+  for (const JsonValue& e : events->items) {
+    const JsonValue* phase = e.find("ph");
+    if (phase == nullptr || !phase->is_string())
+      fail("chrome trace: event without \"ph\"");
+    if (phase->text != "X") continue;  // metadata events need no timing
+    ++slots;
+    for (const char* key : {"name", "pid", "tid", "ts", "dur"}) {
+      if (e.find(key) == nullptr)
+        fail(std::string("chrome trace: X event missing \"") + key + "\"");
+    }
+    if (e.find("ts")->number < 0 || e.find("dur")->number <= 0)
+      fail("chrome trace: X event with negative ts or non-positive dur");
+    const JsonValue* args = e.find("args");
+    if (args == nullptr || args->find("start") == nullptr)
+      fail("chrome trace: X event without exact args.start");
+    check_canonical_rational(args->find("start")->text, "chrome args.start");
+  }
+  if (slots == 0) fail("chrome trace: no schedule slots in " + path);
+  std::cout << "chrome trace ok: " << path << " (" << slots << " slots)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  minmach::Cli cli(argc, argv);
+  const std::string report = cli.get_string("report", "");
+  const std::string trace = cli.get_string("trace", "");
+  const std::string chrome = cli.get_string("chrome", "");
+  cli.check_unknown();
+  if (report.empty() && trace.empty() && chrome.empty())
+    fail("nothing to check: pass --report, --trace, and/or --chrome");
+  if (!report.empty()) check_report(report);
+  if (!trace.empty()) check_trace(trace);
+  if (!chrome.empty()) check_chrome(chrome);
+  return 0;
+}

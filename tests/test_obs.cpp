@@ -1,0 +1,324 @@
+// Tests for the observability layer: metrics registry determinism, hot-tally
+// draining, snapshot/diff/serialization, JSONL tracing, the Chrome trace
+// exporter, and the deterministic JSON writer/parser underneath them all.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "minmach/core/instance.hpp"
+#include "minmach/core/schedule.hpp"
+#include "minmach/obs/json.hpp"
+#include "minmach/obs/metrics.hpp"
+#include "minmach/obs/report.hpp"
+#include "minmach/obs/trace.hpp"
+#include "minmach/util/rational.hpp"
+
+namespace minmach::obs {
+namespace {
+
+// ---- json ---------------------------------------------------------------
+
+TEST(Json, EscapeControlAndQuotes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape(std::string("x\n\t\x01y")), "x\\n\\t\\u0001y");
+}
+
+TEST(Json, WriterGolden) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("name").value("e05");
+  w.key("ok").value(true);
+  w.key("count").value(std::int64_t{42});
+  w.key("ratio").value(0.5);
+  w.key("rows").begin_array();
+  w.value("1/2");
+  w.value(std::uint64_t{7});
+  w.end_array();
+  w.key("empty").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"name\": \"e05\",\n"
+            "  \"ok\": true,\n"
+            "  \"count\": 42,\n"
+            "  \"ratio\": 0.5,\n"
+            "  \"rows\": [\n"
+            "    \"1/2\",\n"
+            "    7\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}\n");
+}
+
+TEST(Json, ParserRoundTripPreservesOrderAndLiterals) {
+  JsonValue v = parse_json(
+      "{\"b\": 1, \"a\": [true, null, \"x\\ny\"], \"n\": 0.500}");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members.size(), 3u);
+  EXPECT_EQ(v.members[0].first, "b");  // source order, not sorted
+  EXPECT_EQ(v.members[1].first, "a");
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_TRUE(a->items[0].boolean);
+  EXPECT_EQ(a->items[1].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(a->items[2].text, "x\ny");
+  // Numbers keep their literal text for canonical-format checks.
+  EXPECT_EQ(v.find("n")->literal, "0.500");
+  EXPECT_DOUBLE_EQ(v.find("n")->number, 0.5);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json("{"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{\"a\": }"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("[1, 2,]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("tru"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{} x"), std::invalid_argument);
+}
+
+// ---- metrics ------------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  Counter c;
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  Gauge g;
+  g.set(7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+  EXPECT_EQ(g.max_value(), 7);
+  g.set(9);
+  EXPECT_EQ(g.max_value(), 9);
+}
+
+TEST(Metrics, HistogramBucketsAndExtremes) {
+  Histogram h;
+  EXPECT_EQ(h.data().count, 0u);
+  EXPECT_EQ(h.data().min, 0);  // empty histogram reports 0, not the sentinel
+  h.observe(0);
+  h.observe(1);
+  h.observe(5);
+  h.observe(-2);  // clamps to 0
+  HistogramData d = h.data();
+  EXPECT_EQ(d.count, 4u);
+  EXPECT_EQ(d.sum, 6);  // -2 clamped before summing
+  EXPECT_EQ(d.min, 0);
+  EXPECT_EQ(d.max, 5);
+  // bit_width buckets: 0 -> 0 (twice), 1 -> 1, 5 -> 3.
+  EXPECT_EQ(d.bins.at(0), 2u);
+  EXPECT_EQ(d.bins.at(1), 1u);
+  EXPECT_EQ(d.bins.at(3), 1u);
+}
+
+TEST(Metrics, RegistryNamedLookupIsStable) {
+  Registry& r = Registry::global();
+  r.reset();
+  Counter& a = r.counter("test.lookup");
+  a.add(3);
+  EXPECT_EQ(&r.counter("test.lookup"), &a);
+  EXPECT_EQ(r.snapshot().counters.at("test.lookup"), 3u);
+  r.reset();
+  // reset() zeroes but never deletes: the reference stays valid.
+  EXPECT_EQ(a.value(), 0u);
+}
+
+TEST(Metrics, SnapshotDiffSubtractsCountersAndHistograms) {
+  Registry& r = Registry::global();
+  r.reset();
+  r.counter("test.diff.c").add(10);
+  r.histogram("test.diff.h").observe(4);
+  Snapshot before = r.snapshot();
+  r.counter("test.diff.c").add(5);
+  r.histogram("test.diff.h").observe(4);
+  Snapshot after = r.snapshot();
+  Snapshot delta = after.diff(before);
+  EXPECT_EQ(delta.counters.at("test.diff.c"), 5u);
+  EXPECT_EQ(delta.histograms.at("test.diff.h").count, 1u);
+  EXPECT_EQ(delta.histograms.at("test.diff.h").sum, 4);
+  r.reset();
+}
+
+TEST(Metrics, SnapshotJsonIsDeterministicAndOmitsTimings) {
+  Registry& r = Registry::global();
+  r.reset();
+  r.counter("test.json.b").add(2);
+  r.counter("test.json.a").add(1);
+  {
+    ScopedTimer t(r.timing("test.json.timer"));
+  }
+  Snapshot snap = r.snapshot();
+  EXPECT_EQ(snap.timings.at("test.json.timer").count, 1u);
+  std::string json = snap.to_json();
+  // Timings are wall clock, hence excluded from the deterministic form.
+  EXPECT_EQ(json.find("test.json.timer"), std::string::npos);
+  JsonValue v = parse_json(json);
+  const JsonValue* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  // std::map ordering: "test.json.a" serializes before "test.json.b".
+  std::size_t pos_a = json.find("test.json.a");
+  std::size_t pos_b = json.find("test.json.b");
+  EXPECT_LT(pos_a, pos_b);
+  // Asked explicitly, the timing section appears.
+  EXPECT_NE(snap.to_json(/*include_timings=*/true).find("test.json.timer"),
+            std::string::npos);
+  r.reset();
+}
+
+TEST(Metrics, ParallelMergeIsThreadCountInvariant) {
+  auto run = [](std::size_t threads) {
+    Registry& r = Registry::global();
+    r.reset();
+    bench::parallel_map(16, threads, [&](std::size_t i) {
+      r.counter("test.par.counter").add(i + 1);
+      r.histogram("test.par.hist").observe(static_cast<std::int64_t>(i));
+      return i;
+    });
+    return r.snapshot();
+  };
+  Snapshot single = run(1);
+  Snapshot parallel = run(4);
+  EXPECT_EQ(single, parallel);
+  EXPECT_EQ(single.counters.at("test.par.counter"), 16u * 17u / 2u);
+  EXPECT_EQ(single.histograms.at("test.par.hist").count, 16u);
+  EXPECT_EQ(single.to_json(), parallel.to_json());
+  Registry::global().reset();
+}
+
+#if MINMACH_OBS_ENABLED
+TEST(Metrics, HotTalliesDrainIntoRegistry) {
+  Registry& r = Registry::global();
+  r.reset();
+  MINMACH_OBS_TALLY(rat_fast_ops);
+  MINMACH_OBS_TALLY(rat_fast_ops);
+  MINMACH_OBS_TALLY(bigint_promotions);
+  // snapshot() drains the calling thread first.
+  Snapshot snap = r.snapshot();
+  EXPECT_EQ(snap.counters.at("rat.fast_ops"), 2u);
+  EXPECT_EQ(snap.counters.at("bigint.promotions"), 1u);
+  // Drained: a second snapshot sees no double counting.
+  EXPECT_EQ(r.snapshot().counters.at("rat.fast_ops"), 2u);
+
+  // Real arithmetic feeds the tallies: a small-tier Rat addition takes the
+  // fast path.
+  r.reset();
+  Rat x(1, 3);
+  x += Rat(1, 6);
+  EXPECT_EQ(x, Rat(1, 2));
+  EXPECT_GE(r.snapshot().counters.at("rat.fast_ops"), 1u);
+  r.reset();
+}
+#endif
+
+// ---- tracing ------------------------------------------------------------
+
+TEST(Trace, JsonlEventsAreOrderedAndTyped) {
+  std::ostringstream os;
+  {
+    TraceSink sink(os);
+    TraceSink::set_global(&sink);
+    EXPECT_TRUE(trace_enabled());
+    trace_event("sim", "release",
+                {{"t", Rat(1, 2)}, {"job", 3u}, {"ok", true}});
+    trace_event("oracle", "probe", {{"m", std::int64_t{-1}}, {"r", 0.25}});
+    EXPECT_EQ(sink.events_written(), 2u);
+    TraceSink::set_global(nullptr);
+  }
+  EXPECT_FALSE(trace_enabled());
+  trace_event("sim", "dropped", {});  // no sink installed: no-op
+
+  std::istringstream lines(os.str());
+  std::string line;
+  std::uint64_t expected_seq = 0;
+  while (std::getline(lines, line)) {
+    JsonValue v = parse_json(line);
+    ASSERT_TRUE(v.is_object());
+    EXPECT_EQ(v.members[0].first, "seq");
+    EXPECT_EQ(v.members[1].first, "cat");
+    EXPECT_EQ(v.members[2].first, "ev");
+    EXPECT_EQ(v.find("seq")->literal, std::to_string(expected_seq));
+    ++expected_seq;
+  }
+  EXPECT_EQ(expected_seq, 2u);
+  JsonValue first = parse_json(os.str().substr(0, os.str().find('\n')));
+  EXPECT_EQ(first.find("t")->text, "1/2");  // exact rational, not a float
+  EXPECT_EQ(first.find("job")->literal, "3");
+  EXPECT_TRUE(first.find("ok")->boolean);
+}
+
+TEST(Trace, ChromeExportHasOneTrackPerMachine) {
+  Instance in;
+  in.add_job({Rat(0), Rat(2), Rat(1)});
+  in.add_job({Rat(0), Rat(2), Rat(2)});
+  Schedule s;
+  s.add_slot(0, Rat(0), Rat(1), 0);
+  s.add_slot(1, Rat(0), Rat(2), 1);
+  s.canonicalize();
+
+  std::ostringstream os;
+  write_chrome_trace(os, in, s, "unit test", /*microseconds_per_unit=*/1000.0);
+  JsonValue v = parse_json(os.str());
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::set<std::string> tids;
+  std::size_t complete_events = 0;
+  for (const JsonValue& e : events->items) {
+    const std::string& phase = e.find("ph")->text;
+    if (phase == "X") {
+      ++complete_events;
+      tids.insert(e.find("tid")->literal);
+      // Exact times ride along in args.
+      ASSERT_NE(e.find("args"), nullptr);
+      EXPECT_NE(e.find("args")->find("start"), nullptr);
+    }
+  }
+  EXPECT_EQ(complete_events, 2u);  // one slot per machine above
+  EXPECT_EQ(tids.size(), 2u);      // one track per machine
+  // Slot [0,1) at 1000 us/unit: dur == 1000.
+  bool found_duration = false;
+  for (const JsonValue& e : events->items) {
+    if (e.find("ph")->text == "X" && e.find("dur")->literal == "1000")
+      found_duration = true;
+  }
+  EXPECT_TRUE(found_duration);
+}
+
+// ---- run reports --------------------------------------------------------
+
+TEST(Report, JsonShapeAndCheckAggregation) {
+  RunReport report;
+  report.experiment = "unit";
+  report.claim = "claim";
+  report.config.emplace_back("seed", "7");
+  report.tables.push_back({"t", {"a", "b"}, {{"1", "2"}}});
+  report.checks.push_back({"bound holds", "3", "4", true});
+  EXPECT_TRUE(report.all_checks_ok());
+  report.checks.push_back({"bound fails", "5", "4", false});
+  EXPECT_FALSE(report.all_checks_ok());
+
+  JsonValue v = parse_json(report.to_json());
+  EXPECT_EQ(v.find("schema")->text, kReportSchema);
+  EXPECT_EQ(v.members[0].first, "schema");
+  EXPECT_EQ(v.find("experiment")->text, "unit");
+  EXPECT_EQ(v.find("config")->find("seed")->text, "7");
+  EXPECT_EQ(v.find("tables")->items[0].find("title")->text, "t");
+  EXPECT_FALSE(v.find("checks_ok")->boolean);
+  ASSERT_NE(v.find("metrics"), nullptr);
+  EXPECT_NE(v.find("metrics")->find("counters"), nullptr);
+}
+
+}  // namespace
+}  // namespace minmach::obs
