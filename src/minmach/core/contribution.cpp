@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "minmach/core/load_sweep.hpp"
+
 namespace minmach {
 
 Rat contribution(const Job& job, const IntervalSet& where) {
@@ -28,6 +30,30 @@ std::int64_t load_of(const Instance& instance, const IntervalSet& where) {
 }  // namespace
 
 LoadBound load_bound_single_interval(const Instance& instance) {
+  // The sweep assumes non-negative laxities; malformed instances keep the
+  // reference semantics (zero-overlap intervals can still "contribute").
+  if (!instance.well_formed())
+    return load_bound_single_interval_reference(instance);
+  const std::vector<Rat> points = instance.event_points();
+  const std::size_t n = instance.size();
+  std::vector<Rat> release(n), deadline(n), processing(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Job& job = instance.job(j);
+    release[j] = job.release;
+    deadline[j] = job.deadline;
+    processing[j] = job.processing;
+  }
+  SweepWitness sweep = sweep_load_bound(
+      release, deadline, processing, points,
+      [](const Rat& c, const Rat& len) { return (c / len).ceil().to_int64(); });
+  LoadBound best;
+  best.machines = sweep.machines;
+  if (sweep.machines > 0)
+    best.witness = IntervalSet{Interval{points[sweep.lo], points[sweep.hi]}};
+  return best;
+}
+
+LoadBound load_bound_single_interval_reference(const Instance& instance) {
   LoadBound best;
   const std::vector<Rat> points = instance.event_points();
   for (std::size_t a = 0; a < points.size(); ++a) {

@@ -35,7 +35,17 @@ struct LoadBound {
 
 // Max over all single intervals [a, b) with a, b event points. This is a
 // valid lower bound on m for every instance (not necessarily tight).
+// Evaluated by the O(n^2) incremental sweep of core/load_sweep.hpp; the
+// witness (first maximizing pair in (a, b) scan order) matches the
+// reference scan exactly.
 [[nodiscard]] LoadBound load_bound_single_interval(const Instance& instance);
+
+// The pre-sweep O(n * S^2) evaluation of the same bound: recomputes
+// C(S, [a,b)) from scratch for every event-point pair. Kept as the
+// differential-test reference for the sweep; prefer
+// load_bound_single_interval everywhere else.
+[[nodiscard]] LoadBound load_bound_single_interval_reference(
+    const Instance& instance);
 
 // Exact Theorem 1 value: max over all unions of elementary segments between
 // consecutive event points (2^k - 1 candidates). Returns std::nullopt when

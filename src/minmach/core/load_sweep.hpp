@@ -1,0 +1,138 @@
+// Sweep evaluation of the single-interval load bound
+//   max over event points a < b of ceil( C(S, [a,b)) / (b - a) ),
+// the lower-bound side of Theorem 1 restricted to single intervals.
+//
+// The naive evaluation recomputes C(S, [a,b)) = sum_j max(0, |[a,b) cap
+// I(j)| - l_j) from scratch for each of the O(S^2) endpoint pairs -- an
+// O(n * S^2) scan. This kernel fixes the left endpoint a and sweeps b
+// rightward across event points, maintaining the contribution sum
+// incrementally: job j starts contributing once b exceeds
+//   cross_j = max(r_j, a) + l_j
+// (its contribution then grows linearly with b) and freezes at b = d_j
+// (contribution caps at d_j - cross_j). Both thresholds are consumed from
+// globally pre-sorted orders -- cross_j equals a + l_j for jobs released by
+// a and d_j - p_j for later jobs, neither of which depends on a beyond the
+// group split -- so each left endpoint costs O(n + S) and the whole bound
+// costs O(S * (n + S)) = O(n^2) with O(1) amortized work per job event.
+//
+// Generic over the value type V so the feasibility oracle can run it on the
+// __int128 integer grid while the public contribution API runs it on exact
+// rationals. Requirements on V: totally ordered, closed under + - *, and
+// constructible from std::int64_t. `ceil_div(c, len)` must return
+// ceil(c / len) as int64 for c >= 0, len > 0. Precondition: the instance is
+// well-formed (no negative laxities); the caller handles malformed input.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace minmach {
+
+struct SweepWitness {
+  std::int64_t machines = 0;
+  // Indices into the event-point array: the witness interval is
+  // [points[lo], points[hi]). Meaningful only when machines > 0.
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+// left_stride > 1 evaluates only every stride-th left endpoint. The result
+// is still a certified lower bound (a max over a subset of intervals) but
+// may be below the exact single-interval bound; the feasibility oracle
+// uses this to cap the sweep at O(budget * (n + S)) and lets its warm
+// ascending probes absorb the slack. Callers needing the exact bound (and
+// reference witness parity) must pass 1.
+template <typename V, typename CeilDiv>
+SweepWitness sweep_load_bound(const std::vector<V>& release,
+                              const std::vector<V>& deadline,
+                              const std::vector<V>& processing,
+                              const std::vector<V>& points,
+                              CeilDiv ceil_div, std::size_t left_stride = 1) {
+  SweepWitness best;
+  const std::size_t n = release.size();
+  if (n == 0 || points.size() < 2) return best;
+  if (left_stride == 0) left_stride = 1;
+
+  std::vector<V> laxity(n);
+  for (std::size_t j = 0; j < n; ++j)
+    laxity[j] = deadline[j] - release[j] - processing[j];
+
+  // Global orders reused by every left endpoint: contribution onsets for
+  // already-released jobs (cross = a + laxity) and for future releases
+  // (cross = r + laxity = d - p), and contribution freezes (at d).
+  std::vector<std::size_t> by_laxity(n), by_onset(n), by_deadline(n);
+  std::iota(by_laxity.begin(), by_laxity.end(), 0);
+  by_onset = by_laxity;
+  by_deadline = by_laxity;
+  std::sort(by_laxity.begin(), by_laxity.end(),
+            [&](std::size_t x, std::size_t y) { return laxity[x] < laxity[y]; });
+  std::sort(by_onset.begin(), by_onset.end(), [&](std::size_t x, std::size_t y) {
+    return deadline[x] - processing[x] < deadline[y] - processing[y];
+  });
+  std::sort(by_deadline.begin(), by_deadline.end(),
+            [&](std::size_t x, std::size_t y) {
+              return deadline[x] < deadline[y];
+            });
+
+  const V zero(0);
+  for (std::size_t ai = 0; ai + 1 < points.size(); ai += left_stride) {
+    const V& a = points[ai];
+    // Growing jobs contribute b - cross_j each; frozen jobs d_j - cross_j.
+    std::int64_t growing = 0;
+    V growing_cross_sum = zero;
+    V frozen_sum = zero;
+    std::size_t pa = 0, pb = 0, pd = 0;
+    for (std::size_t bi = ai + 1; bi < points.size(); ++bi) {
+      const V& b = points[bi];
+      // Admit released jobs (r <= a) whose onset a + laxity fell below b.
+      while (pa < n) {
+        std::size_t j = by_laxity[pa];
+        V cross = a + laxity[j];
+        if (!(cross < b)) break;
+        ++pa;
+        if (a < release[j] || !(a < deadline[j])) continue;
+        if (!(cross < deadline[j])) continue;  // window overlap never beats l_j
+        ++growing;
+        growing_cross_sum += cross;
+      }
+      // Admit future releases (r > a) whose onset d - p fell below b.
+      while (pb < n) {
+        std::size_t j = by_onset[pb];
+        V cross = deadline[j] - processing[j];
+        if (!(cross < b)) break;
+        ++pb;
+        if (!(a < release[j])) continue;
+        ++growing;
+        growing_cross_sum += cross;
+      }
+      // Freeze jobs whose deadline was reached: contribution caps.
+      while (pd < n) {
+        std::size_t j = by_deadline[pd];
+        if (!(deadline[j] <= b)) break;
+        ++pd;
+        if (!(a < deadline[j])) continue;
+        V cross = (release[j] < a ? a : release[j]) + laxity[j];
+        if (!(cross < deadline[j])) continue;  // never contributed
+        --growing;
+        growing_cross_sum -= cross;
+        frozen_sum += deadline[j] - cross;
+      }
+      V contribution = V(growing) * b - growing_cross_sum + frozen_sum;
+      if (!(zero < contribution)) continue;
+      V length = b - a;
+      // Improvement test without a division: ceil(C/len) > best iff
+      // C > best * len. Matches the reference scan's first-witness rule.
+      if (V(best.machines) * length < contribution) {
+        best.machines = ceil_div(contribution, length);
+        best.lo = ai;
+        best.hi = bi;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace minmach

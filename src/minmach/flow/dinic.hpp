@@ -63,6 +63,17 @@ class Dinic {
     initial_[handle + 1] = Cap(0);
   }
 
+  // Grows the capacity of the edge returned by add_edge by `delta` (>= 0)
+  // WITHOUT touching the flow already routed through it: the forward
+  // residual widens, the reverse residual (= routed flow) is preserved.
+  // This is the warm-start primitive: if every capacity change since the
+  // last max_flow() was an increase, the routed flow is still feasible and
+  // max_flow() resumes from it, so only the newly admitted flow costs work.
+  void increase_capacity(std::size_t handle, const Cap& delta) {
+    edges_[handle].capacity += delta;
+    initial_[handle] += delta;
+  }
+
   Cap max_flow(std::size_t source, std::size_t sink) {
     if (source == sink) throw std::invalid_argument("Dinic: source == sink");
     Cap total(0);

@@ -1,8 +1,14 @@
 #include "minmach/flow/feasibility.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
+#include <set>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 
+#include "minmach/core/load_sweep.hpp"
 #include "minmach/flow/dinic.hpp"
 #include "minmach/obs/metrics.hpp"
 #include "minmach/obs/trace.hpp"
@@ -36,18 +42,25 @@ IntegerGrid try_integer_grid(const Instance& instance) {
   grid.release.reserve(instance.size());
   grid.deadline.reserve(instance.size());
   grid.processing.reserve(instance.size());
+  // Scales one field, or reports the grid unusable; each value is scaled
+  // exactly once.
+  auto scale_into = [&scale](const Rat& value, std::vector<std::int64_t>& out) {
+    BigInt scaled = (value * scale).num();  // integral by construction
+    if (scaled.bit_length() > 62) return false;
+    out.push_back(scaled.to_int64());
+    return true;
+  };
   for (const Job& j : instance.jobs()) {
-    for (const Rat* value : {&j.release, &j.deadline, &j.processing}) {
-      BigInt scaled = (*value * scale).num();  // integral by construction
-      if (scaled.bit_length() > 62) return grid;
-    }
-    grid.release.push_back((j.release * scale).num().to_int64());
-    grid.deadline.push_back((j.deadline * scale).num().to_int64());
-    grid.processing.push_back((j.processing * scale).num().to_int64());
+    if (!scale_into(j.release, grid.release) ||
+        !scale_into(j.deadline, grid.deadline) ||
+        !scale_into(j.processing, grid.processing))
+      return grid;
   }
   grid.usable = true;
   return grid;
 }
+
+// ---- allocation network (solve_migratory) ------------------------------
 
 struct Network {
   Dinic<Rat> graph;
@@ -59,6 +72,11 @@ struct Network {
   std::size_t sink;
 };
 
+// Dense per-segment network, kept for allocation extraction: reading off
+// per-job per-segment processing needs one addressable edge per pair, so
+// the tree compression does not apply here. Job ranges are binary-searched
+// (both window endpoints are event points) instead of scanning all S
+// segments per job.
 Network build_network(const Instance& instance, std::int64_t machines) {
   std::vector<Rat> points = instance.event_points();
   const std::size_t n = instance.size();
@@ -81,15 +99,244 @@ Network build_network(const Instance& instance, std::int64_t machines) {
     const Job& job = instance.job(j);
     net.total_work += job.processing;
     net.graph.add_edge(net.source, 1 + j, job.processing);
-    for (std::size_t k = 0; k < segments; ++k) {
-      if (job.release <= net.points[k] && net.points[k + 1] <= job.deadline) {
-        Rat length = net.points[k + 1] - net.points[k];
-        std::size_t handle = net.graph.add_edge(1 + j, n + 1 + k, length);
-        net.job_segment_edges[j].emplace_back(k, handle);
-      }
+    const std::size_t lo = static_cast<std::size_t>(
+        std::lower_bound(net.points.begin(), net.points.end(), job.release) -
+        net.points.begin());
+    const std::size_t hi = static_cast<std::size_t>(
+        std::lower_bound(net.points.begin(), net.points.end(), job.deadline) -
+        net.points.begin());
+    for (std::size_t k = lo; k < hi; ++k) {
+      Rat length = net.points[k + 1] - net.points[k];
+      std::size_t handle = net.graph.add_edge(1 + j, n + 1 + k, length);
+      net.job_segment_edges[j].emplace_back(k, handle);
     }
   }
   return net;
+}
+
+// ---- oracle network ----------------------------------------------------
+
+struct BuildCounters {
+  std::uint64_t tree_edges = 0;    // job -> canonical segment-tree node
+  std::uint64_t direct_edges = 0;  // job -> capped leaf (|segment| < p_j)
+  std::uint64_t dense_edges = 0;   // legacy job -> segment (compress off)
+  std::size_t segments = 0;
+};
+
+// One probe network in a fixed capacity domain (__int128 on the integer
+// grid, Rat otherwise). Instance data is kept in the same domain so the
+// sweep lower bound reuses it.
+template <typename Cap>
+struct OracleNet {
+  std::vector<Cap> release, deadline, processing;  // per job
+  std::vector<Cap> points;                         // event points
+  std::vector<Cap> seg_length;
+  Dinic<Cap> graph{2};
+  std::vector<std::size_t> sink_handle;
+  Cap total_work{0};
+  Cap routed{0};  // flow currently in the graph (accumulates across warm probes)
+  std::int64_t flow_m = 0;  // machine count the routed flow was admitted under
+  std::size_t source = 0;
+  std::size_t sink = 0;
+
+  void build(bool compress, BuildCounters& counters);
+  // Returns the verdict; sets `warm` to whether the probe reused the
+  // routed flow (capacities only grew) or reset it.
+  bool probe(std::int64_t machines, bool allow_warm, bool& warm);
+  [[nodiscard]] std::int64_t sweep_bound() const;
+};
+
+template <typename Cap>
+void OracleNet<Cap>::build(bool compress, BuildCounters& counters) {
+  const std::size_t n = release.size();
+  const std::size_t segments = points.empty() ? 0 : points.size() - 1;
+  counters.segments = segments;
+  seg_length.resize(segments);
+  for (std::size_t k = 0; k < segments; ++k)
+    seg_length[k] = points[k + 1] - points[k];
+  total_work = Cap(0);
+  for (const Cap& p : processing) total_work += p;
+  source = 0;
+
+  if (!compress) {
+    // Legacy dense layout (the pre-compression oracle, kept bit-for-bit as
+    // the differential baseline): 0 = source, 1..n = jobs, n+1..n+segments,
+    // last = sink; containment scanned per (job, segment) pair.
+    sink = n + segments + 1;
+    graph = Dinic<Cap>(n + segments + 2);
+    sink_handle.clear();
+    for (std::size_t k = 0; k < segments; ++k)
+      sink_handle.push_back(graph.add_edge(n + 1 + k, sink, Cap(0)));
+    for (std::size_t j = 0; j < n; ++j) {
+      graph.add_edge(source, 1 + j, processing[j]);
+      for (std::size_t k = 0; k < segments; ++k) {
+        if (release[j] <= points[k] && points[k + 1] <= deadline[j]) {
+          graph.add_edge(1 + j, n + 1 + k, seg_length[k]);
+          ++counters.dense_edges;
+        }
+      }
+    }
+    return;
+  }
+
+  // Segment-tree layout. The per-(job, segment) capacity |segment| can
+  // only bind where |segment| < p_j; those pairs keep direct capped edges.
+  // Everywhere else the cap is vacuous (a job routes at most p_j anywhere),
+  // so maximal cap-free runs of a job's range are covered by O(log S)
+  // canonical tree nodes whose internal edges merely forward capacity down
+  // to the leaves. DESIGN.md proves this network max-flow-equivalent to
+  // the dense one.
+  struct TreeNode {
+    std::size_t lo, hi;           // covered segment range [lo, hi)
+    std::size_t left, right;      // child node ids (npos for leaves)
+    Cap length;                   // sum of covered segment lengths
+  };
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<TreeNode> tree;
+  std::vector<std::size_t> leaf_node(segments);
+  std::function<std::size_t(std::size_t, std::size_t)> build_node =
+      [&](std::size_t lo, std::size_t hi) -> std::size_t {
+    std::size_t id = tree.size();
+    tree.push_back({lo, hi, npos, npos, Cap(0)});
+    if (hi - lo == 1) {
+      tree[id].length = seg_length[lo];
+      leaf_node[lo] = id;
+      return id;
+    }
+    std::size_t mid = lo + (hi - lo) / 2;
+    std::size_t left = build_node(lo, mid);
+    std::size_t right = build_node(mid, hi);
+    tree[id].left = left;
+    tree[id].right = right;
+    tree[id].length = tree[left].length + tree[right].length;
+    return id;
+  };
+  if (segments > 0) build_node(0, segments);
+
+  // Node layout: 0 = source, 1..n = jobs, n+1..n+|tree| = tree nodes
+  // (leaves included), last = sink.
+  sink = n + tree.size() + 1;
+  graph = Dinic<Cap>(n + tree.size() + 2);
+  auto tree_graph_node = [n](std::size_t id) { return n + 1 + id; };
+  // Internal nodes forward capacity to their children. The edges carry
+  // total_work, an upper bound on any source->sink flow, so they never
+  // bind and stay valid across all probes (warm starts included).
+  for (std::size_t t = 0; t < tree.size(); ++t) {
+    if (tree[t].left == npos) continue;
+    graph.add_edge(tree_graph_node(t), tree_graph_node(tree[t].left),
+                   total_work);
+    graph.add_edge(tree_graph_node(t), tree_graph_node(tree[t].right),
+                   total_work);
+  }
+  sink_handle.clear();
+  for (std::size_t k = 0; k < segments; ++k)
+    sink_handle.push_back(
+        graph.add_edge(tree_graph_node(leaf_node[k]), sink, Cap(0)));
+  for (std::size_t j = 0; j < n; ++j)
+    graph.add_edge(source, 1 + j, processing[j]);
+
+  // Leaves a job must reach through a capped direct edge: processed in
+  // ascending p_j so the capped-position set only ever grows.
+  std::vector<std::size_t> jobs_by_processing(n), leaves_by_length(segments);
+  for (std::size_t j = 0; j < n; ++j) jobs_by_processing[j] = j;
+  for (std::size_t k = 0; k < segments; ++k) leaves_by_length[k] = k;
+  std::sort(jobs_by_processing.begin(), jobs_by_processing.end(),
+            [&](std::size_t x, std::size_t y) {
+              return processing[x] < processing[y] ||
+                     (processing[x] == processing[y] && x < y);
+            });
+  std::sort(leaves_by_length.begin(), leaves_by_length.end(),
+            [&](std::size_t x, std::size_t y) {
+              return seg_length[x] < seg_length[y] ||
+                     (seg_length[x] == seg_length[y] && x < y);
+            });
+
+  std::function<void(std::size_t, std::size_t, std::size_t, std::size_t)>
+      cover = [&](std::size_t node, std::size_t x, std::size_t y,
+                  std::size_t job) {
+        const TreeNode& v = tree[node];
+        if (v.lo >= y || v.hi <= x) return;
+        if (x <= v.lo && v.hi <= y) {
+          Cap cap = processing[job] < v.length ? processing[job] : v.length;
+          graph.add_edge(1 + job, tree_graph_node(node), cap);
+          ++counters.tree_edges;
+          return;
+        }
+        cover(v.left, x, y, job);
+        cover(v.right, x, y, job);
+      };
+
+  std::set<std::size_t> capped;  // leaf positions with |segment| < p_j so far
+  std::size_t next_leaf = 0;
+  for (std::size_t j : jobs_by_processing) {
+    while (next_leaf < segments &&
+           seg_length[leaves_by_length[next_leaf]] < processing[j])
+      capped.insert(leaves_by_length[next_leaf++]);
+    const std::size_t lo = static_cast<std::size_t>(
+        std::lower_bound(points.begin(), points.end(), release[j]) -
+        points.begin());
+    const std::size_t hi = static_cast<std::size_t>(
+        std::lower_bound(points.begin(), points.end(), deadline[j]) -
+        points.begin());
+    std::size_t run_start = lo;
+    for (auto it = capped.lower_bound(lo); it != capped.end() && *it < hi;
+         ++it) {
+      graph.add_edge(1 + j, tree_graph_node(leaf_node[*it]), seg_length[*it]);
+      ++counters.direct_edges;
+      if (run_start < *it) cover(0, run_start, *it, j);
+      run_start = *it + 1;
+    }
+    if (run_start < hi) cover(0, run_start, hi, j);
+  }
+}
+
+template <typename Cap>
+bool OracleNet<Cap>::probe(std::int64_t machines, bool allow_warm,
+                           bool& warm) {
+  warm = allow_warm && machines >= flow_m;
+  if (warm) {
+    // Sink capacities only grow, so the routed flow stays feasible and
+    // max_flow() resumes from the residual graph.
+    if (machines > flow_m) {
+      const Cap delta(machines - flow_m);
+      for (std::size_t k = 0; k < sink_handle.size(); ++k)
+        graph.increase_capacity(sink_handle[k], delta * seg_length[k]);
+    }
+  } else {
+    const Cap m_cap(machines);
+    for (std::size_t k = 0; k < sink_handle.size(); ++k)
+      graph.set_capacity(sink_handle[k], m_cap * seg_length[k]);
+    graph.reset_flow();
+    routed = Cap(0);
+  }
+  routed += graph.max_flow(source, sink);
+  flow_m = machines;
+  return routed == total_work;
+}
+
+template <typename Cap>
+std::int64_t OracleNet<Cap>::sweep_bound() const {
+  // Left-endpoint budget: caps the sweep at O(budget * (n + S)). The bound
+  // stays certified (subset of intervals); any slack vs the exact value is
+  // absorbed by a few extra warm ascending probes, which cost one residual
+  // augmentation each -- cheaper than the full O(S * (n + S)) sweep on
+  // instances with many event points.
+  constexpr std::size_t kLeftBudget = 256;
+  const std::size_t stride =
+      points.size() <= 1 ? 1
+                         : std::max<std::size_t>(
+                               1, (points.size() - 1) / kLeftBudget);
+  return sweep_load_bound(release, deadline, processing, points,
+                          [](const Cap& c, const Cap& len) {
+                            if constexpr (std::is_same_v<Cap, Rat>) {
+                              return (c / len).ceil().to_int64();
+                            } else {
+                              return static_cast<std::int64_t>(
+                                  (c + len - 1) / len);
+                            }
+                          },
+                          stride)
+      .machines;
 }
 
 }  // namespace
@@ -97,42 +344,36 @@ Network build_network(const Instance& instance, std::int64_t machines) {
 // ---- incremental oracle ------------------------------------------------
 
 struct FeasibilityOracle::Impl {
+  OracleOptions options;
   bool empty = false;
   bool well_formed = true;
   bool integer_mode = false;
   std::int64_t job_count = 0;
-  std::int64_t load_lb = 1;
+  std::int64_t density_lb = 1;
+  std::optional<std::int64_t> lb_cache;  // density + optional sweep, lazy
 
   // Monotone verdict memo: feasible for all m >= min_feasible, infeasible
   // for all m <= max_infeasible.
   std::int64_t min_feasible = 0;
   std::int64_t max_infeasible = 0;
 
-  std::size_t source = 0;
-  std::size_t sink = 0;
-
-  // Integer-grid network (fast path).
-  Dinic<__int128> igraph{2};
-  std::vector<std::int64_t> iseg_length;
-  std::vector<std::size_t> isink_handle;
-  __int128 itotal_work = 0;
-
-  // Exact rational network (adversarial denominators).
-  Dinic<Rat> rgraph{2};
-  std::vector<Rat> rseg_length;
-  std::vector<std::size_t> rsink_handle;
-  Rat rtotal_work;
+  // Probe network (exactly one is built, per integer_mode).
+  OracleNet<__int128> inet;
+  OracleNet<Rat> rnet;
 
   // flow.* counters already published, so each probe adds only its delta.
   DinicStats published;
 
   bool probe(std::int64_t machines);
+  std::int64_t lower_bound();
   void publish_flow_stats();
 };
 
-FeasibilityOracle::FeasibilityOracle(const Instance& instance)
+FeasibilityOracle::FeasibilityOracle(const Instance& instance,
+                                     const OracleOptions& options)
     : impl_(std::make_unique<Impl>()) {
   Impl& im = *impl_;
+  im.options = options;
   im.empty = instance.empty();
   if (im.empty) return;
   im.well_formed = instance.well_formed();
@@ -146,74 +387,60 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance)
   const Rat span = points.back() - points.front();
   if (span.is_positive()) {
     const Rat density = instance.total_work() / span;
-    im.load_lb = std::max<std::int64_t>(1, density.ceil().to_int64());
+    im.density_lb = std::max<std::int64_t>(1, density.ceil().to_int64());
   }
 
   const std::size_t n = instance.size();
-  const std::size_t segments = points.empty() ? 0 : points.size() - 1;
-  im.source = 0;
-  im.sink = n + segments + 1;
-
+  BuildCounters counters;
   if (IntegerGrid grid = try_integer_grid(instance); grid.usable) {
     im.integer_mode = true;
+    OracleNet<__int128>& net = im.inet;
+    net.release.assign(grid.release.begin(), grid.release.end());
+    net.deadline.assign(grid.deadline.begin(), grid.deadline.end());
+    net.processing.assign(grid.processing.begin(), grid.processing.end());
     std::vector<std::int64_t> ipoints;
     ipoints.reserve(2 * n);
     ipoints.insert(ipoints.end(), grid.release.begin(), grid.release.end());
     ipoints.insert(ipoints.end(), grid.deadline.begin(), grid.deadline.end());
     std::sort(ipoints.begin(), ipoints.end());
     ipoints.erase(std::unique(ipoints.begin(), ipoints.end()), ipoints.end());
-    const std::size_t isegments = ipoints.empty() ? 0 : ipoints.size() - 1;
-    obs::Registry::global().counter("oracle.builds").add();
-    if (obs::trace_enabled()) {
-      obs::trace_event("oracle", "build",
-                       {{"jobs", im.job_count},
-                        {"segments", isegments},
-                        {"integer_mode", true},
-                        {"load_lb", im.load_lb}});
+    net.points.assign(ipoints.begin(), ipoints.end());
+    net.build(options.compress, counters);
+  } else {
+    OracleNet<Rat>& net = im.rnet;
+    net.release.reserve(n);
+    net.deadline.reserve(n);
+    net.processing.reserve(n);
+    for (const Job& job : instance.jobs()) {
+      net.release.push_back(job.release);
+      net.deadline.push_back(job.deadline);
+      net.processing.push_back(job.processing);
     }
-    im.sink = n + isegments + 1;
-    im.igraph = Dinic<__int128>(n + isegments + 2);
-    // Sink capacities start at 0; feasible() retunes them to m * |segment|.
-    for (std::size_t k = 0; k < isegments; ++k) {
-      im.iseg_length.push_back(ipoints[k + 1] - ipoints[k]);
-      im.isink_handle.push_back(
-          im.igraph.add_edge(n + 1 + k, im.sink, __int128{0}));
-    }
-    for (std::size_t j = 0; j < n; ++j) {
-      im.itotal_work += grid.processing[j];
-      im.igraph.add_edge(im.source, 1 + j, grid.processing[j]);
-      for (std::size_t k = 0; k < isegments; ++k) {
-        if (grid.release[j] <= ipoints[k] &&
-            ipoints[k + 1] <= grid.deadline[j]) {
-          im.igraph.add_edge(1 + j, n + 1 + k, ipoints[k + 1] - ipoints[k]);
-        }
-      }
-    }
-    return;
+    net.points = std::move(points);
+    net.build(options.compress, counters);
   }
 
-  obs::Registry::global().counter("oracle.builds").add();
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("oracle.builds").add();
+  if (options.compress) {
+    registry.counter("oracle.tree_edges").add(counters.tree_edges);
+    registry.counter("oracle.direct_edges").add(counters.direct_edges);
+  } else {
+    registry.counter("oracle.dense_edges").add(counters.dense_edges);
+  }
   if (obs::trace_enabled()) {
     obs::trace_event("oracle", "build",
                      {{"jobs", im.job_count},
-                      {"segments", segments},
-                      {"integer_mode", false},
-                      {"load_lb", im.load_lb}});
-  }
-  im.rgraph = Dinic<Rat>(n + segments + 2);
-  for (std::size_t k = 0; k < segments; ++k) {
-    im.rseg_length.push_back(points[k + 1] - points[k]);
-    im.rsink_handle.push_back(im.rgraph.add_edge(n + 1 + k, im.sink, Rat(0)));
-  }
-  for (std::size_t j = 0; j < n; ++j) {
-    const Job& job = instance.job(j);
-    im.rtotal_work += job.processing;
-    im.rgraph.add_edge(im.source, 1 + j, job.processing);
-    for (std::size_t k = 0; k < segments; ++k) {
-      if (job.release <= points[k] && points[k + 1] <= job.deadline) {
-        im.rgraph.add_edge(1 + j, n + 1 + k, im.rseg_length[k]);
-      }
-    }
+                      {"segments", static_cast<std::int64_t>(counters.segments)},
+                      {"integer_mode", im.integer_mode},
+                      {"compressed", options.compress},
+                      {"tree_edges",
+                       static_cast<std::int64_t>(counters.tree_edges)},
+                      {"direct_edges",
+                       static_cast<std::int64_t>(counters.direct_edges)},
+                      {"dense_edges",
+                       static_cast<std::int64_t>(counters.dense_edges)},
+                      {"load_lb", im.density_lb}});
   }
 }
 
@@ -223,7 +450,7 @@ FeasibilityOracle& FeasibilityOracle::operator=(FeasibilityOracle&&) noexcept =
     default;
 
 void FeasibilityOracle::Impl::publish_flow_stats() {
-  const DinicStats& now = integer_mode ? igraph.stats() : rgraph.stats();
+  const DinicStats& now = integer_mode ? inet.graph.stats() : rnet.graph.stats();
   obs::Registry& registry = obs::Registry::global();
   registry.counter("flow.bfs_passes").add(now.bfs_passes - published.bfs_passes);
   registry.counter("flow.augmenting_paths")
@@ -234,37 +461,47 @@ void FeasibilityOracle::Impl::publish_flow_stats() {
 }
 
 bool FeasibilityOracle::Impl::probe(std::int64_t machines) {
-  obs::Registry::global().counter("oracle.probes").add();
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("oracle.probes").add();
   bool result;
+  bool warm = false;
   {
-    obs::ScopedTimer timer(obs::Registry::global().timing("oracle.probe_ns"));
-    if (integer_mode) {
-      for (std::size_t k = 0; k < isink_handle.size(); ++k) {
-        igraph.set_capacity(isink_handle[k],
-                            static_cast<__int128>(machines) * iseg_length[k]);
-      }
-      igraph.reset_flow();
-      result = igraph.max_flow(source, sink) == itotal_work;
-    } else {
-      const Rat m_rat(machines);
-      for (std::size_t k = 0; k < rsink_handle.size(); ++k) {
-        rgraph.set_capacity(rsink_handle[k], m_rat * rseg_length[k]);
-      }
-      rgraph.reset_flow();
-      result = rgraph.max_flow(source, sink) == rtotal_work;
-    }
+    obs::ScopedTimer timer(registry.timing("oracle.probe_ns"));
+    result = integer_mode
+                 ? inet.probe(machines, options.warm_start, warm)
+                 : rnet.probe(machines, options.warm_start, warm);
   }
-  const DinicStats& now = integer_mode ? igraph.stats() : rgraph.stats();
+  registry.counter(warm ? "oracle.warm_probes" : "oracle.cold_probes").add();
+  const DinicStats& now = integer_mode ? inet.graph.stats() : rnet.graph.stats();
   if (obs::trace_enabled()) {
     obs::trace_event("oracle", "probe",
                      {{"m", machines},
                       {"feasible", result},
+                      {"warm", warm},
                       {"augmenting_paths",
                        now.augmenting_paths - published.augmenting_paths},
                       {"integer_mode", integer_mode}});
   }
   publish_flow_stats();
   return result;
+}
+
+std::int64_t FeasibilityOracle::Impl::lower_bound() {
+  if (lb_cache) return *lb_cache;
+  std::int64_t lb = empty ? 0 : density_lb;
+  if (options.sweep_bound && !empty && well_formed) {
+    obs::Registry& registry = obs::Registry::global();
+    obs::ScopedTimer timer(registry.timing("oracle.sweep_ns"));
+    registry.counter("oracle.sweep_bounds").add();
+    lb = std::max(lb, integer_mode ? inet.sweep_bound() : rnet.sweep_bound());
+    // The sweep bound is certified (Theorem 1's easy direction), so every
+    // machine count below it is infeasible without probing. The legacy
+    // path skips this to stay probe-for-probe faithful to the pre-PR
+    // search.
+    max_infeasible = std::max(max_infeasible, lb - 1);
+  }
+  lb_cache = lb;
+  return lb;
 }
 
 bool FeasibilityOracle::feasible(std::int64_t machines) {
@@ -284,7 +521,7 @@ bool FeasibilityOracle::feasible(std::int64_t machines) {
 }
 
 std::int64_t FeasibilityOracle::load_lower_bound() const {
-  return impl_->empty ? 0 : impl_->load_lb;
+  return impl_->lower_bound();
 }
 
 std::int64_t FeasibilityOracle::optimal_machines() {
@@ -292,14 +529,35 @@ std::int64_t FeasibilityOracle::optimal_machines() {
   if (im.empty) return 0;
   if (!im.well_formed)
     throw std::invalid_argument("FeasibilityOracle: malformed instance");
-  // Gallop from the load lower bound until feasible (n always is), then
-  // binary-search the bracket; feasible() keeps the bracket in its memo.
-  std::int64_t m = std::max<std::int64_t>(im.max_infeasible + 1, im.load_lb);
-  while (m < im.job_count && !feasible(m)) {
-    obs::Registry::global().counter("oracle.gallop_steps").add();
-    m = std::min<std::int64_t>(im.job_count, 2 * m);
+  obs::Registry& registry = obs::Registry::global();
+  const std::int64_t lb = im.lower_bound();
+
+  if (!im.options.warm_start) {
+    // Pre-warm-start search: gallop by doubling from the load lower bound
+    // until feasible (n always is), then binary-search the bracket;
+    // feasible() keeps the bracket in its memo.
+    std::int64_t m = std::max<std::int64_t>(im.max_infeasible + 1, lb);
+    while (m < im.job_count && !feasible(m)) {
+      registry.counter("oracle.gallop_steps").add();
+      m = std::min<std::int64_t>(im.job_count, 2 * m);
+    }
+    if (m >= im.job_count) (void)feasible(m);  // records the memo endpoint
+  } else {
+    // Warm ascent: probe lb, lb+1, lb+3, lb+7, ... -- every probe is at a
+    // higher m than the last, so each one extends the routed flow instead
+    // of re-solving. With the sweep bound the first probe usually
+    // succeeds and certifies OPT outright (everything below lb is
+    // infeasible by the load argument).
+    std::int64_t m = std::max<std::int64_t>(im.max_infeasible + 1, lb);
+    std::int64_t step = 1;
+    while (m < im.min_feasible && !feasible(m)) {
+      registry.counter("oracle.gallop_steps").add();
+      m = std::min<std::int64_t>(im.min_feasible, m + step);
+      step *= 2;
+    }
   }
-  if (m >= im.job_count) (void)feasible(m);  // records the memo endpoint
+  // Close any remaining bracket (overshot gallop): descending probes reset
+  // the flow (capacities shrink), so these are the cold ones.
   while (im.max_infeasible + 1 < im.min_feasible) {
     std::int64_t mid =
         im.max_infeasible + (im.min_feasible - im.max_infeasible) / 2;

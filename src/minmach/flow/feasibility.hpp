@@ -24,33 +24,64 @@ struct FlowAllocation {
   std::vector<std::vector<Rat>> per_job;
 };
 
+// Tuning knobs for FeasibilityOracle. The defaults are the fast path; the
+// all-off combination reproduces the pre-compression oracle exactly (dense
+// per-segment edges, cold probes, density-only lower bound) and is kept as
+// the differential-test reference and the bench baseline.
+struct OracleOptions {
+  // Segment-tree edge compression. A job's per-segment cap |segment| can
+  // only bind on segments shorter than its processing time; the job gets
+  // direct capped edges to those and O(log S) segment-tree edges covering
+  // the rest (where the cap is vacuous), which is max-flow-equivalent to
+  // the dense bipartite network (see DESIGN.md) but O(n log S + S) edges
+  // when processing times dominate segment lengths.
+  bool compress = true;
+  // Keep the routed flow across probes with growing machine counts: sink
+  // capacities only grow with m, so the flow stays feasible and the probe
+  // augments the residual instead of re-solving from scratch. Descending
+  // probes still reset (capacities shrink below the routed flow).
+  bool warm_start = true;
+  // Start the OPT search from the O(n^2) sweep single-interval load bound
+  // (usually exact) instead of only ceil(total work / span).
+  bool sweep_bound = true;
+
+  [[nodiscard]] static OracleOptions legacy() { return {false, false, false}; }
+};
+
 // Reusable per-instance feasibility oracle. The Horn network depends on the
 // machine count only through the segment->sink capacities machines*|segment|,
 // so the oracle normalizes the instance (integer grid when denominators
 // allow, exact rationals otherwise) and builds the network ONCE; each probe
-// retunes the sink capacities and resets the flow instead of reconstructing
-// the graph. Verdicts are memoized and feasible(m) is monotone in m, so a
-// binary search over m costs one network build plus one max-flow per
-// *informative* probe.
+// retunes the sink capacities. With the default options the network is
+// segment-tree-compressed, ascending probes warm-start from the previous
+// flow, and the search opens at the sweep load lower bound -- so OPT
+// typically costs one network build plus roughly one max-flow in total.
+// Verdicts are memoized and feasible(m) is monotone in m.
 class FeasibilityOracle {
  public:
-  explicit FeasibilityOracle(const Instance& instance);
+  explicit FeasibilityOracle(const Instance& instance,
+                             const OracleOptions& options = {});
   ~FeasibilityOracle();
   FeasibilityOracle(FeasibilityOracle&&) noexcept;
   FeasibilityOracle& operator=(FeasibilityOracle&&) noexcept;
 
   // True iff the instance is feasible on `machines` migratory machines.
   // Memoized; probes the network only for verdicts not implied by
-  // monotonicity.
+  // monotonicity or by the certified load lower bound.
   [[nodiscard]] bool feasible(std::int64_t machines);
 
-  // Exact migratory OPT: gallops up from load_lower_bound() to bracket the
-  // optimum, then binary-searches the bracket. Returns 0 for the empty
-  // instance; throws std::invalid_argument on a malformed one.
+  // Exact migratory OPT: ascends from load_lower_bound() with warm-started
+  // probes (galloping when the bound is loose, then binary-searching the
+  // bracket). Returns 0 for the empty instance; throws
+  // std::invalid_argument on a malformed one.
   [[nodiscard]] std::int64_t optimal_machines();
 
-  // ceil(total work / time span): a valid lower bound on OPT (>= 1 for a
-  // non-empty instance), and the galloping search's starting point.
+  // A certified lower bound on OPT (>= 1 for a non-empty instance): the
+  // density bound ceil(total work / span), sharpened by the sweep
+  // single-interval load bound when options.sweep_bound is set (computed
+  // lazily on first call). On instances with many event points the sweep
+  // subsamples left endpoints (a budgeted, still-certified bound), so this
+  // can be slightly below load_bound_single_interval().
   [[nodiscard]] std::int64_t load_lower_bound() const;
 
  private:

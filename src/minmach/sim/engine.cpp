@@ -35,6 +35,8 @@ JobId Simulator::submit(const Job& job) {
   missed_.push_back(false);
   last_machine_.push_back(kNeverRan);
   pending_.push({job.release, id});
+  ++open_jobs_;
+  max_deadline_ = Rat::max(max_deadline_, job.deadline);
   return id;
 }
 
@@ -51,11 +53,15 @@ std::vector<JobId> Simulator::active_jobs() const {
 }
 
 bool Simulator::all_done() const {
-  if (!pending_.empty()) return false;
-  for (JobId id = 0; id < instance_.size(); ++id) {
-    if (!finished_[id] && !missed_[id]) return false;
+  return pending_.empty() && open_jobs_ == 0;
+}
+
+void Simulator::prune_deadline_heap() {
+  while (!deadline_heap_.empty()) {
+    JobId id = deadline_heap_.top().job;
+    if (!finished_[id] && !missed_[id]) break;
+    deadline_heap_.pop();
   }
-  return true;
 }
 
 void Simulator::set_running(std::size_t machine, JobId job) {
@@ -87,6 +93,7 @@ void Simulator::deliver_events_at_now() {
     JobId job = running_[m];
     if (job != kInvalidJob && remaining_[job].is_zero()) {
       finished_[job] = true;
+      --open_jobs_;
       running_[m] = kInvalidJob;
       ++stats_.completions;
       if (tracing)
@@ -95,11 +102,21 @@ void Simulator::deliver_events_at_now() {
       policy_.on_complete(*this, job);
     }
   }
-  // 2. Deadline misses (running or waiting).
-  for (JobId id = 0; id < instance_.size(); ++id) {
-    if (released_[id] && !finished_[id] && !missed_[id] &&
-        instance_.job(id).deadline <= now_) {
+  // 2. Deadline misses (running or waiting). Due jobs are popped off the
+  // deadline heap and handled in job-id order (the order the old full scan
+  // used), so traces and policy callbacks are unchanged.
+  prune_deadline_heap();
+  if (!deadline_heap_.empty() && deadline_heap_.top().time <= now_) {
+    std::vector<JobId> due;
+    while (!deadline_heap_.empty() && deadline_heap_.top().time <= now_) {
+      JobId id = deadline_heap_.top().job;
+      deadline_heap_.pop();
+      if (!finished_[id] && !missed_[id]) due.push_back(id);
+    }
+    std::sort(due.begin(), due.end());
+    for (JobId id : due) {
       missed_[id] = true;
+      --open_jobs_;
       missed_list_.push_back(id);
       for (auto& slot : running_)
         if (slot == id) slot = kInvalidJob;
@@ -116,6 +133,7 @@ void Simulator::deliver_events_at_now() {
     JobId id = pending_.top().job;
     pending_.pop();
     released_[id] = true;
+    deadline_heap_.push({instance_.job(id).deadline, id});
     ++stats_.releases;
     if (tracing) {
       const Job& job = instance_.job(id);
@@ -153,10 +171,9 @@ Rat Simulator::next_event_time(const Rat& horizon) {
     if (job != kInvalidJob)
       next = Rat::min(next, now_ + remaining_[job] / speed_);
   }
-  for (JobId id = 0; id < instance_.size(); ++id) {
-    if (released_[id] && !finished_[id] && !missed_[id])
-      next = Rat::min(next, instance_.job(id).deadline);
-  }
+  prune_deadline_heap();
+  if (!deadline_heap_.empty())
+    next = Rat::min(next, deadline_heap_.top().time);
   if (auto wakeup = policy_.next_wakeup(*this); wakeup && now_ < *wakeup) {
     if (*wakeup <= next && obs::trace_enabled())
       obs::trace_event("sim", "wakeup", {{"t", *wakeup}});
@@ -222,12 +239,9 @@ void Simulator::run_until(const Rat& t) {
 
 void Simulator::run_to_completion() {
   while (!all_done()) {
-    // Horizon: far enough to hit the next event; the max deadline bounds
-    // all remaining activity.
-    Rat horizon = now_ + Rat(1);
-    for (const auto& job : instance_.jobs())
-      horizon = Rat::max(horizon, job.deadline);
-    run_until(horizon);
+    // Horizon: far enough to hit the next event; the max deadline (cached
+    // at submit time) bounds all remaining activity.
+    run_until(Rat::max(now_ + Rat(1), max_deadline_));
   }
 }
 

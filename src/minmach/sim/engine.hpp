@@ -148,6 +148,26 @@ class Simulator {
                       std::greater<>>
       pending_;
 
+  // Deadlines of released jobs, lazily pruned: entries for finished/missed
+  // jobs are skipped at peek time. Lets next_event_time() and the miss scan
+  // touch only due jobs instead of rescanning the whole instance.
+  struct ActiveDeadline {
+    Rat time;
+    JobId job;
+    bool operator>(const ActiveDeadline& other) const {
+      return time > other.time || (time == other.time && job > other.job);
+    }
+  };
+  std::priority_queue<ActiveDeadline, std::vector<ActiveDeadline>,
+                      std::greater<>>
+      deadline_heap_;
+  void prune_deadline_heap();
+
+  // Submitted jobs not yet finished or missed; all_done() is O(1).
+  std::size_t open_jobs_ = 0;
+  // Max deadline over all submitted jobs; run_to_completion()'s horizon.
+  Rat max_deadline_ = Rat(0);
+
   std::vector<JobId> running_;
   Schedule trace_;
   std::vector<bool> machine_touched_;
