@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   using namespace minmach;
   Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
-  const std::int64_t threads_flag = cli.get_int("threads", 0);
+  const std::int64_t threads_request = bench::threads_flag(cli);
   bench::Run ctx(cli, "E4: constant-competitive pipeline for alpha-loose jobs",
                  "for fixed alpha < 1, non-migratory online scheduling on "
                  "O(m) machines (Theorem 5); ratio flat in n and m");
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     std::string failure;
   };
   auto results = bench::parallel_map(
-      setting_count, bench::resolve_threads(threads_flag, setting_count),
+      setting_count, bench::resolve_threads(threads_request, setting_count),
       [&](std::size_t index) {
         const Setting& setting = settings[index];
         SettingResult out;

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::int64_t trials = cli.get_int("trials", 6);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
-  const std::int64_t threads_flag = cli.get_int("threads", 0);
+  const std::int64_t threads_request = bench::threads_flag(cli);
   bench::Run ctx(cli, "E5: window shrinking (Lemma 3)",
                  "m(J^gamma) <= m(J)/(1-gamma) + 1 for both one-sided shrinks");
   cli.check_unknown();
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     int violations = 0;
   };
   auto results = bench::parallel_map(
-      gamma_count, bench::resolve_threads(threads_flag, gamma_count),
+      gamma_count, bench::resolve_threads(threads_request, gamma_count),
       [&](std::size_t index) {
         const Rat& gamma = gammas[index];
         Rng rng(seed);

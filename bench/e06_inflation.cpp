@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::int64_t trials = cli.get_int("trials", 5);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 6));
-  const std::int64_t threads_flag = cli.get_int("threads", 0);
+  const std::int64_t threads_request = bench::threads_flag(cli);
   bench::Run ctx(cli, "E6: processing-time inflation (Lemma 4)",
                  "m(J^s) = O(m(J)) for alpha-loose instances, alpha < 1/s");
   cli.check_unknown();
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     double max_ratio = 0;
   };
   auto results = bench::parallel_map(
-      setting_count, bench::resolve_threads(threads_flag, setting_count),
+      setting_count, bench::resolve_threads(threads_request, setting_count),
       [&](std::size_t index) {
         const Setting& setting = settings[index];
         Rng rng(seed);

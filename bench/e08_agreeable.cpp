@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
   const std::int64_t trials = cli.get_int("trials", 4);
-  const std::int64_t threads_flag = cli.get_int("threads", 0);
+  const std::int64_t threads_request = bench::threads_flag(cli);
   bench::Run ctx(cli, "E8: agreeable instances (Theorems 12 and 14)",
                  "non-preemptive online schedule on m/(1-a)^2 + 16m/a <= "
                  "32.70 m machines; optimum near alpha ~ 0.63");
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     bool within_bound = true;
   };
   auto results = bench::parallel_map(
-      alpha_count, bench::resolve_threads(threads_flag, alpha_count),
+      alpha_count, bench::resolve_threads(threads_request, alpha_count),
       [&](std::size_t index) {
         const Rat& alpha = alphas[index];
         Rng rng(seed);

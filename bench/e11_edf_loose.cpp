@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 11));
   const std::int64_t trials = cli.get_int("trials", 4);
-  const std::int64_t threads_flag = cli.get_int("threads", 0);
+  const std::int64_t threads_request = bench::threads_flag(cli);
   bench::Run ctx(cli, "E11: EDF on alpha-loose instances (Theorem 13)",
                  "EDF is feasible on ceil(m/(1-alpha)^2) machines for "
                  "alpha-loose instances");
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     bool budget_found = true;
   };
   auto results = bench::parallel_map(
-      alpha_count, bench::resolve_threads(threads_flag, alpha_count),
+      alpha_count, bench::resolve_threads(threads_request, alpha_count),
       [&](std::size_t index) {
         const Rat& alpha = alphas[index];
         Rng rng(seed);

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 13));
   const std::int64_t trials = cli.get_int("trials", 5);
-  const std::int64_t threads_flag = cli.get_int("threads", 0);
+  const std::int64_t threads_request = bench::threads_flag(cli);
   bench::Run ctx(cli, "E13: speed / machine trade-off (Theorem 7, "
                       "Chan-Lam-To)",
                  "speed (1+eps)^2 machines suffice at ceil((1+1/eps)^2) * m; "
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     std::string failure;
   };
   auto results = bench::parallel_map(
-      speed_count, bench::resolve_threads(threads_flag, speed_count),
+      speed_count, bench::resolve_threads(threads_request, speed_count),
       [&](std::size_t index) {
         const Rat& s = speeds[index];
         Rng rng(seed);

@@ -212,9 +212,9 @@ BENCHMARK(BM_SingleMachineAdmission)->Arg(16)->Arg(64);
 void BM_ObsTallyIncrement(benchmark::State& state) {
   for (auto _ : state) {
     MINMACH_OBS_TALLY(rat_fast_ops);
-    benchmark::DoNotOptimize(&obs::hot_tallies);
+    benchmark::DoNotOptimize(&obs::hot_tallies());
   }
-  obs::hot_tallies = {};
+  obs::hot_tallies() = {};
 }
 BENCHMARK(BM_ObsTallyIncrement);
 

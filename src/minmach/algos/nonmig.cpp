@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "minmach/util/arena.hpp"
+
 namespace minmach {
 
 void NonMigratoryPolicy::on_release(Simulator& sim, JobId job) {
@@ -43,18 +45,33 @@ std::optional<std::size_t> NonMigratoryPolicy::machine_of(JobId job) const {
 bool NonMigratoryPolicy::machine_can_take(const Simulator& sim,
                                           std::size_t machine,
                                           JobId job) const {
-  std::vector<MachineCommitment> commitments;
+  if (util::substrate_legacy()) [[unlikely]] {
+    // Seed path: a fresh commitment vector per probe.
+    std::vector<MachineCommitment> commitments;
+    if (machine < assigned_.size()) {
+      for (JobId id : assigned_[machine]) {
+        if (sim.finished(id) || sim.missed(id)) continue;
+        commitments.push_back({sim.job(id).release, sim.job(id).deadline,
+                               sim.remaining(id)});
+      }
+    }
+    commitments.push_back(
+        {sim.job(job).release, sim.job(job).deadline, sim.remaining(job)});
+    return edf_feasible_single_machine(std::move(commitments), sim.now(),
+                                       sim.speed());
+  }
+  commit_scratch_.clear();
   if (machine < assigned_.size()) {
     for (JobId id : assigned_[machine]) {
       if (sim.finished(id) || sim.missed(id)) continue;
-      commitments.push_back({sim.job(id).release, sim.job(id).deadline,
-                             sim.remaining(id)});
+      commit_scratch_.push_back({sim.job(id).release, sim.job(id).deadline,
+                                 sim.remaining(id)});
     }
   }
-  commitments.push_back(
+  commit_scratch_.push_back(
       {sim.job(job).release, sim.job(job).deadline, sim.remaining(job)});
-  return edf_feasible_single_machine(std::move(commitments), sim.now(),
-                                     sim.speed());
+  return edf_feasible_single_machine_inplace(commit_scratch_, sim.now(),
+                                             sim.speed());
 }
 
 std::vector<std::size_t> NonMigratoryPolicy::feasible_machines(
@@ -64,6 +81,19 @@ std::vector<std::size_t> NonMigratoryPolicy::feasible_machines(
     if (machine_can_take(sim, m, job)) out.push_back(m);
   }
   return out;
+}
+
+const std::vector<std::size_t>& NonMigratoryPolicy::feasible_machines_pooled(
+    const Simulator& sim, JobId job) const {
+  if (util::substrate_legacy()) [[unlikely]]
+    feasible_scratch_ = feasible_machines(sim, job);  // seed: fresh vector
+  else {
+    feasible_scratch_.clear();
+    for (std::size_t m = 0; m < assigned_.size(); ++m) {
+      if (machine_can_take(sim, m, job)) feasible_scratch_.push_back(m);
+    }
+  }
+  return feasible_scratch_;
 }
 
 Rat NonMigratoryPolicy::machine_load(const Simulator& sim,
@@ -97,7 +127,7 @@ FitPolicy::FitPolicy(FitRule rule, std::uint64_t seed)
     : rule_(rule), rng_(seed) {}
 
 std::size_t FitPolicy::choose_machine(Simulator& sim, JobId job) {
-  std::vector<std::size_t> feasible = feasible_machines(sim, job);
+  const std::vector<std::size_t>& feasible = feasible_machines_pooled(sim, job);
   if (feasible.empty()) return open_machines();  // open a fresh machine
 
   switch (rule_) {

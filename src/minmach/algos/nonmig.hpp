@@ -44,6 +44,12 @@ class NonMigratoryPolicy : public OnlinePolicy {
   // EDF-feasible from now on (exact test, ascending order).
   [[nodiscard]] std::vector<std::size_t> feasible_machines(const Simulator& sim,
                                                            JobId job) const;
+  // As above, but into a pooled buffer: the returned reference is valid
+  // until the next call on this policy (any thread). The per-release hot
+  // path of every fit rule uses this; under util::substrate_legacy() it
+  // still fills a fresh vector, matching the seed.
+  [[nodiscard]] const std::vector<std::size_t>& feasible_machines_pooled(
+      const Simulator& sim, JobId job) const;
   [[nodiscard]] bool machine_can_take(const Simulator& sim,
                                       std::size_t machine, JobId job) const;
 
@@ -58,6 +64,12 @@ class NonMigratoryPolicy : public OnlinePolicy {
  private:
   std::vector<std::vector<JobId>> assigned_;
   std::vector<std::optional<std::size_t>> machine_by_job_;
+  // Admission-test scratch, reused across the per-release probe of every
+  // open machine (mutable: the probes are logically const queries). Under
+  // util::substrate_legacy() the probes build fresh vectors instead,
+  // matching the seed.
+  mutable std::vector<MachineCommitment> commit_scratch_;
+  mutable std::vector<std::size_t> feasible_scratch_;
 };
 
 enum class FitRule {

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 
+#include "minmach/util/arena.hpp"
+
 namespace minmach {
 
 bool edf_feasible_single_machine(std::vector<MachineCommitment> commitments,
                                  const Rat& start, const Rat& speed) {
+  return edf_feasible_single_machine_inplace(commitments, start, speed);
+}
+
+bool edf_feasible_single_machine_inplace(
+    std::vector<MachineCommitment>& commitments, const Rat& start,
+    const Rat& speed) {
   for (auto& c : commitments) {
     if (c.available_from < start) c.available_from = start;
     if (c.remaining.is_negative()) return false;
@@ -21,10 +29,16 @@ bool edf_feasible_single_machine(std::vector<MachineCommitment> commitments,
             });
 
   // Event-driven EDF: at each step run the released commitment with the
-  // earliest deadline until it finishes or the next release.
+  // earliest deadline until it finishes or the next release. The ready list
+  // is pooled per thread (legacy keeps the seed's fresh vector); the test
+  // never re-enters itself, so one slot suffices.
   Rat now = start;
   std::size_t next_release = 0;
-  std::vector<std::size_t> ready;  // indices into commitments, unfinished
+  std::vector<std::size_t> ready_local;
+  static thread_local std::vector<std::size_t> ready_pooled;
+  std::vector<std::size_t>& ready =
+      util::substrate_legacy() ? ready_local : ready_pooled;
+  ready.clear();
   while (true) {
     while (next_release < commitments.size() &&
            commitments[next_release].available_from <= now) {

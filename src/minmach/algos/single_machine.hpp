@@ -31,6 +31,15 @@ struct MachineCommitment {
     std::vector<MachineCommitment> commitments, const Rat& start,
     const Rat& speed = Rat(1));
 
+// In-place variant for callers that reuse a commitment buffer across many
+// admission tests (the fit policies probe every open machine at every
+// release): the vector's contents are consumed (reordered and mutated), but
+// its storage survives for the next fill. Same verdict as the by-value
+// overload.
+[[nodiscard]] bool edf_feasible_single_machine_inplace(
+    std::vector<MachineCommitment>& commitments, const Rat& start,
+    const Rat& speed = Rat(1));
+
 // As above but with job identities, returning the concrete single-machine
 // EDF slot list (or nullopt if some deadline is missed). Used by the
 // offline migratory -> non-migratory transform to materialize per-machine

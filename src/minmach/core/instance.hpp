@@ -24,6 +24,10 @@ class Instance {
 
   JobId add_job(const Job& job);
 
+  // Removes all jobs but keeps the storage, so a pooled simulator can
+  // resubmit a fresh instance without reallocating (DESIGN.md §10).
+  void clear() { jobs_.clear(); }
+
   // All jobs well-formed (0 < p <= d - r)?
   [[nodiscard]] bool well_formed() const;
 

@@ -16,7 +16,15 @@ std::size_t Schedule::used_machine_count() const {
 
 void Schedule::add_slot(std::size_t machine, Rat start, Rat end, JobId job) {
   if (end <= start) return;  // empty slots are silently dropped
-  if (machine >= machines_.size()) machines_.resize(machine + 1);
+  while (machine >= machines_.size()) {
+    // Reuse a parked slot vector from clear() before allocating a new one.
+    if (!spare_.empty()) {
+      machines_.push_back(std::move(spare_.back()));
+      spare_.pop_back();
+    } else {
+      machines_.emplace_back();
+    }
+  }
   machines_[machine].push_back({std::move(start), std::move(end), job});
 }
 

@@ -25,6 +25,16 @@ class Schedule {
  public:
   Schedule() = default;
   explicit Schedule(std::size_t machines) : machines_(machines) {}
+  // Copies carry the slots but not the spare-storage pool (the pool exists
+  // so a cleared-and-refilled schedule, e.g. the pooled simulator's trace,
+  // reuses its per-machine slot vectors; a copy starts cold).
+  Schedule(const Schedule& other) : machines_(other.machines_) {}
+  Schedule& operator=(const Schedule& other) {
+    machines_ = other.machines_;
+    return *this;
+  }
+  Schedule(Schedule&&) noexcept = default;
+  Schedule& operator=(Schedule&&) noexcept = default;
 
   [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
   // Machines that actually process at least one slot. This is the number an
@@ -34,6 +44,17 @@ class Schedule {
   // Appends a slot; grows the machine list as needed. Call canonicalize()
   // before querying once all slots are in.
   void add_slot(std::size_t machine, Rat start, Rat end, JobId job);
+
+  // Drops all machines and slots, parking each machine's slot vector in a
+  // spare pool that add_slot draws from, so a clear-and-refill cycle (the
+  // pooled simulator's trace) reuses the per-machine storage.
+  void clear() {
+    for (std::vector<Slot>& machine : machines_) {
+      machine.clear();
+      spare_.push_back(std::move(machine));
+    }
+    machines_.clear();
+  }
 
   [[nodiscard]] const std::vector<Slot>& slots(std::size_t machine) const {
     return machines_[machine];
@@ -71,6 +92,7 @@ class Schedule {
 
  private:
   std::vector<std::vector<Slot>> machines_;
+  std::vector<std::vector<Slot>> spare_;  // cleared machines' storage, reused
 };
 
 }  // namespace minmach

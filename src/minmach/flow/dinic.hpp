@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "minmach/util/arena.hpp"
+
 namespace minmach {
 
 // Work counters for one Dinic instance, accumulated across max_flow calls.
@@ -30,6 +32,22 @@ class Dinic {
       : adjacency_(node_count), level_(node_count), next_edge_(node_count) {}
 
   [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+
+  // Rebuilds to an empty network over `node_count` nodes, recycling the
+  // surviving per-node adjacency vectors and the edge/level/iter storage
+  // of the previous build (DESIGN.md §10): an oracle that reconstructs its
+  // network keeps the old allocations instead of churning. Counters reset,
+  // matching a freshly constructed Dinic.
+  void reinit(std::size_t node_count) {
+    const std::size_t keep = std::min(node_count, adjacency_.size());
+    for (std::size_t i = 0; i < keep; ++i) adjacency_[i].clear();
+    adjacency_.resize(node_count);
+    edges_.clear();
+    initial_.clear();
+    level_.resize(node_count);
+    next_edge_.resize(node_count);
+    stats_ = DinicStats{};
+  }
 
   // Returns a handle usable with flow_on() after max_flow().
   std::size_t add_edge(std::size_t from, std::size_t to, Cap capacity) {
@@ -106,18 +124,39 @@ class Dinic {
   bool build_levels(std::size_t source, std::size_t sink) {
     ++stats_.bfs_passes;
     level_.assign(node_count(), -1);
-    std::queue<std::size_t> frontier;
     level_[source] = 0;
-    frontier.push(source);
-    while (!frontier.empty()) {
-      std::size_t node = frontier.front();
-      frontier.pop();
+    if (util::substrate_legacy()) [[unlikely]] {
+      // Seed behaviour: a fresh std::queue (heap-backed deque) per pass.
+      // Kept as the memory bench's pre-reuse baseline.
+      std::queue<std::size_t> frontier;
+      frontier.push(source);
+      while (!frontier.empty()) {
+        std::size_t node = frontier.front();
+        frontier.pop();
+        stats_.edge_visits += adjacency_[node].size();
+        for (std::size_t handle : adjacency_[node]) {
+          const Edge& edge = edges_[handle];
+          if (level_[edge.to] == -1 && Cap(0) < edge.capacity) {
+            level_[edge.to] = level_[node] + 1;
+            frontier.push(edge.to);
+          }
+        }
+      }
+      return level_[sink] != -1;
+    }
+    // Pooled frontier: a BFS visits each node once, so the vector doubles
+    // as the queue (scan head forward) and its storage survives across
+    // passes and probes.
+    bfs_queue_.clear();
+    bfs_queue_.push_back(source);
+    for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+      std::size_t node = bfs_queue_[head];
       stats_.edge_visits += adjacency_[node].size();
       for (std::size_t handle : adjacency_[node]) {
         const Edge& edge = edges_[handle];
         if (level_[edge.to] == -1 && Cap(0) < edge.capacity) {
           level_[edge.to] = level_[node] + 1;
-          frontier.push(edge.to);
+          bfs_queue_.push_back(edge.to);
         }
       }
     }
@@ -150,6 +189,7 @@ class Dinic {
   std::vector<Cap> initial_;  // capacity of each edge as added / last set
   std::vector<int> level_;
   std::vector<std::size_t> next_edge_;
+  std::vector<std::size_t> bfs_queue_;  // pooled BFS frontier, see build_levels
   DinicStats stats_;
 };
 

@@ -139,11 +139,46 @@ struct OracleNet {
   std::size_t source = 0;
   std::size_t sink = 0;
 
+  struct TreeNode {
+    std::size_t lo, hi;       // covered segment range [lo, hi)
+    std::size_t left, right;  // child node ids (npos for leaves)
+    Cap length;               // sum of covered segment lengths
+  };
+  // Scratch for the segment-tree build, kept across builds (and across
+  // pooled-Impl leases) so a rebuild only clears, never reallocates. Under
+  // util::substrate_legacy() build() uses fresh locals instead, matching
+  // the seed's per-build vectors.
+  struct BuildScratch {
+    std::vector<TreeNode> tree;
+    std::vector<std::size_t> leaf_node;
+    std::vector<std::size_t> jobs_by_processing;
+    std::vector<std::size_t> leaves_by_length;
+    std::vector<std::size_t> capped;  // sorted capped leaf positions
+  };
+  BuildScratch scratch;
+
   void build(bool compress, BuildCounters& counters);
   // Returns the verdict; sets `warm` to whether the probe reused the
   // routed flow (capacities only grew) or reset it.
   bool probe(std::int64_t machines, bool allow_warm, bool& warm);
   [[nodiscard]] std::int64_t sweep_bound() const;
+
+  // Rewinds to the just-constructed logical state, keeping every
+  // container's storage (the graph recycles via build()'s reinit). Used
+  // when a pooled Impl is leased for a new instance.
+  void reset_net() {
+    release.clear();
+    deadline.clear();
+    processing.clear();
+    points.clear();
+    seg_length.clear();
+    sink_handle.clear();
+    total_work = Cap(0);
+    routed = Cap(0);
+    flow_m = 0;
+    source = 0;
+    sink = 0;
+  }
 };
 
 template <typename Cap>
@@ -163,7 +198,10 @@ void OracleNet<Cap>::build(bool compress, BuildCounters& counters) {
     // the differential baseline): 0 = source, 1..n = jobs, n+1..n+segments,
     // last = sink; containment scanned per (job, segment) pair.
     sink = n + segments + 1;
-    graph = Dinic<Cap>(n + segments + 2);
+    if (util::substrate_legacy())
+      graph = Dinic<Cap>(n + segments + 2);  // seed: fresh network per build
+    else
+      graph.reinit(n + segments + 2);
     sink_handle.clear();
     for (std::size_t k = 0; k < segments; ++k)
       sink_handle.push_back(graph.add_edge(n + 1 + k, sink, Cap(0)));
@@ -186,37 +224,46 @@ void OracleNet<Cap>::build(bool compress, BuildCounters& counters) {
   // canonical tree nodes whose internal edges merely forward capacity down
   // to the leaves. DESIGN.md proves this network max-flow-equivalent to
   // the dense one.
-  struct TreeNode {
-    std::size_t lo, hi;           // covered segment range [lo, hi)
-    std::size_t left, right;      // child node ids (npos for leaves)
-    Cap length;                   // sum of covered segment lengths
-  };
   constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  std::vector<TreeNode> tree;
-  std::vector<std::size_t> leaf_node(segments);
-  std::function<std::size_t(std::size_t, std::size_t)> build_node =
-      [&](std::size_t lo, std::size_t hi) -> std::size_t {
-    std::size_t id = tree.size();
-    tree.push_back({lo, hi, npos, npos, Cap(0)});
-    if (hi - lo == 1) {
-      tree[id].length = seg_length[lo];
-      leaf_node[lo] = id;
+  const bool legacy = util::substrate_legacy();
+  BuildScratch local;  // legacy baseline: fresh vectors every build
+  BuildScratch& s = legacy ? local : scratch;
+  std::vector<TreeNode>& tree = s.tree;
+  tree.clear();
+  std::vector<std::size_t>& leaf_node = s.leaf_node;
+  leaf_node.assign(segments, 0);
+  // Named struct instead of std::function: recursive without a per-call
+  // heap allocation for the callable.
+  struct BuildNode {
+    std::vector<TreeNode>& tree;
+    std::vector<std::size_t>& leaf_node;
+    const std::vector<Cap>& seg_length;
+    std::size_t operator()(std::size_t lo, std::size_t hi) {
+      std::size_t id = tree.size();
+      tree.push_back({lo, hi, npos, npos, Cap(0)});
+      if (hi - lo == 1) {
+        tree[id].length = seg_length[lo];
+        leaf_node[lo] = id;
+        return id;
+      }
+      std::size_t mid = lo + (hi - lo) / 2;
+      std::size_t left = (*this)(lo, mid);
+      std::size_t right = (*this)(mid, hi);
+      tree[id].left = left;
+      tree[id].right = right;
+      tree[id].length = tree[left].length + tree[right].length;
       return id;
     }
-    std::size_t mid = lo + (hi - lo) / 2;
-    std::size_t left = build_node(lo, mid);
-    std::size_t right = build_node(mid, hi);
-    tree[id].left = left;
-    tree[id].right = right;
-    tree[id].length = tree[left].length + tree[right].length;
-    return id;
-  };
+  } build_node{tree, leaf_node, seg_length};
   if (segments > 0) build_node(0, segments);
 
   // Node layout: 0 = source, 1..n = jobs, n+1..n+|tree| = tree nodes
   // (leaves included), last = sink.
   sink = n + tree.size() + 1;
-  graph = Dinic<Cap>(n + tree.size() + 2);
+  if (util::substrate_legacy())
+    graph = Dinic<Cap>(n + tree.size() + 2);  // seed: fresh network per build
+  else
+    graph.reinit(n + tree.size() + 2);
   auto tree_graph_node = [n](std::size_t id) { return n + 1 + id; };
   // Internal nodes forward capacity to their children. The edges carry
   // total_work, an upper bound on any source->sink flow, so they never
@@ -237,7 +284,10 @@ void OracleNet<Cap>::build(bool compress, BuildCounters& counters) {
 
   // Leaves a job must reach through a capped direct edge: processed in
   // ascending p_j so the capped-position set only ever grows.
-  std::vector<std::size_t> jobs_by_processing(n), leaves_by_length(segments);
+  std::vector<std::size_t>& jobs_by_processing = s.jobs_by_processing;
+  std::vector<std::size_t>& leaves_by_length = s.leaves_by_length;
+  jobs_by_processing.resize(n);
+  leaves_by_length.resize(segments);
   for (std::size_t j = 0; j < n; ++j) jobs_by_processing[j] = j;
   for (std::size_t k = 0; k < segments; ++k) leaves_by_length[k] = k;
   std::sort(jobs_by_processing.begin(), jobs_by_processing.end(),
@@ -251,27 +301,45 @@ void OracleNet<Cap>::build(bool compress, BuildCounters& counters) {
                      (seg_length[x] == seg_length[y] && x < y);
             });
 
-  std::function<void(std::size_t, std::size_t, std::size_t, std::size_t)>
-      cover = [&](std::size_t node, std::size_t x, std::size_t y,
-                  std::size_t job) {
-        const TreeNode& v = tree[node];
-        if (v.lo >= y || v.hi <= x) return;
-        if (x <= v.lo && v.hi <= y) {
-          Cap cap = processing[job] < v.length ? processing[job] : v.length;
-          graph.add_edge(1 + job, tree_graph_node(node), cap);
-          ++counters.tree_edges;
-          return;
-        }
-        cover(v.left, x, y, job);
-        cover(v.right, x, y, job);
-      };
+  struct Cover {
+    OracleNet<Cap>& net;
+    const std::vector<TreeNode>& tree;
+    BuildCounters& counters;
+    std::size_t base;  // graph id of tree node 0
+    void operator()(std::size_t node, std::size_t x, std::size_t y,
+                    std::size_t job) {
+      const TreeNode& v = tree[node];
+      if (v.lo >= y || v.hi <= x) return;
+      if (x <= v.lo && v.hi <= y) {
+        Cap cap =
+            net.processing[job] < v.length ? net.processing[job] : v.length;
+        net.graph.add_edge(1 + job, base + node, cap);
+        ++counters.tree_edges;
+        return;
+      }
+      (*this)(v.left, x, y, job);
+      (*this)(v.right, x, y, job);
+    }
+  } cover{*this, tree, counters, n + 1};
 
-  std::set<std::size_t> capped;  // leaf positions with |segment| < p_j so far
+  // Leaf positions with |segment| < p_j so far, kept sorted by position.
+  // The sorted-vector insert is O(|capped|) per element but |capped| <=
+  // segments and the pooled storage makes the whole loop allocation-free;
+  // legacy keeps the seed's node-per-insert std::set.
+  std::set<std::size_t> capped_set;
+  std::vector<std::size_t>& capped = s.capped;
+  capped.clear();
   std::size_t next_leaf = 0;
   for (std::size_t j : jobs_by_processing) {
     while (next_leaf < segments &&
-           seg_length[leaves_by_length[next_leaf]] < processing[j])
-      capped.insert(leaves_by_length[next_leaf++]);
+           seg_length[leaves_by_length[next_leaf]] < processing[j]) {
+      const std::size_t pos = leaves_by_length[next_leaf++];
+      if (legacy)
+        capped_set.insert(pos);
+      else
+        capped.insert(std::lower_bound(capped.begin(), capped.end(), pos),
+                      pos);
+    }
     const std::size_t lo = static_cast<std::size_t>(
         std::lower_bound(points.begin(), points.end(), release[j]) -
         points.begin());
@@ -279,12 +347,20 @@ void OracleNet<Cap>::build(bool compress, BuildCounters& counters) {
         std::lower_bound(points.begin(), points.end(), deadline[j]) -
         points.begin());
     std::size_t run_start = lo;
-    for (auto it = capped.lower_bound(lo); it != capped.end() && *it < hi;
-         ++it) {
-      graph.add_edge(1 + j, tree_graph_node(leaf_node[*it]), seg_length[*it]);
+    auto visit_capped = [&](std::size_t pos) {
+      graph.add_edge(1 + j, tree_graph_node(leaf_node[pos]), seg_length[pos]);
       ++counters.direct_edges;
-      if (run_start < *it) cover(0, run_start, *it, j);
-      run_start = *it + 1;
+      if (run_start < pos) cover(0, run_start, pos, j);
+      run_start = pos + 1;
+    };
+    if (legacy) {
+      for (auto it = capped_set.lower_bound(lo);
+           it != capped_set.end() && *it < hi; ++it)
+        visit_capped(*it);
+    } else {
+      for (auto it = std::lower_bound(capped.begin(), capped.end(), lo);
+           it != capped.end() && *it < hi; ++it)
+        visit_capped(*it);
     }
     if (run_start < hi) cover(0, run_start, hi, j);
   }
@@ -364,14 +440,69 @@ struct FeasibilityOracle::Impl {
   // flow.* counters already published, so each probe adds only its delta.
   DinicStats published;
 
+  // Pool bookkeeping (see acquire_impl): owner_busy points at the leasing
+  // thread's busy flag and is only ever compared / written on that thread.
+  bool pooled = false;
+  bool* owner_busy = nullptr;
+
   bool probe(std::int64_t machines);
   std::int64_t lower_bound();
   void publish_flow_stats();
+
+  // Restores the default-constructed logical state (everything the public
+  // constructor assumes) while keeping container storage.
+  void reset() {
+    options = OracleOptions{};
+    empty = false;
+    well_formed = true;
+    integer_mode = false;
+    job_count = 0;
+    density_lb = 1;
+    lb_cache.reset();
+    min_feasible = 0;
+    max_infeasible = 0;
+    inet.reset_net();
+    rnet.reset_net();
+    published = DinicStats{};
+  }
 };
+
+namespace {
+// One pooled oracle Impl per thread, leased by at most one live oracle at a
+// time; nested oracles and the legacy baseline fall back to fresh Impls.
+thread_local bool g_oracle_pool_busy = false;
+}  // namespace
+
+auto FeasibilityOracle::acquire_impl() -> std::unique_ptr<Impl, ImplDeleter> {
+  if (!g_oracle_pool_busy && !util::substrate_legacy()) {
+    thread_local std::unique_ptr<Impl> slot;
+    if (!slot) slot = std::make_unique<Impl>();
+    g_oracle_pool_busy = true;
+    slot->pooled = true;
+    slot->owner_busy = &g_oracle_pool_busy;
+    slot->reset();
+    return std::unique_ptr<Impl, ImplDeleter>(slot.get(), ImplDeleter{});
+  }
+  return std::unique_ptr<Impl, ImplDeleter>(new Impl(), ImplDeleter{});
+}
+
+void FeasibilityOracle::ImplDeleter::operator()(Impl* impl) const noexcept {
+  if (impl == nullptr) return;
+  if (!impl->pooled) {
+    delete impl;
+    return;
+  }
+  // Release the lease only on the owning thread (pointer compare against
+  // this thread's flag; no dereference of a foreign thread_local). A
+  // pooled Impl released on another thread leaves its owner's slot marked
+  // busy -- pooling stops there, but the memory stays owned by the owner's
+  // thread_local unique_ptr, so nothing dangles or double-frees.
+  if (impl->owner_busy == &g_oracle_pool_busy) g_oracle_pool_busy = false;
+}
 
 FeasibilityOracle::FeasibilityOracle(const Instance& instance,
                                      const OracleOptions& options)
-    : impl_(std::make_unique<Impl>()) {
+    : impl_(acquire_impl()) {
   Impl& im = *impl_;
   im.options = options;
   im.empty = instance.empty();

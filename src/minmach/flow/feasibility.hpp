@@ -86,7 +86,19 @@ class FeasibilityOracle {
 
  private:
   struct Impl;
-  std::unique_ptr<Impl> impl_;
+  // Oracles lease a per-thread pooled Impl when it is free (so a sweep that
+  // constructs one oracle per instance recycles the probe network's
+  // adjacency/edge/level storage call after call, see DESIGN.md §10) and
+  // fall back to a fresh heap Impl when the pool is busy -- a nested oracle
+  // -- or under util::substrate_legacy(). The deleter returns a leased Impl
+  // to its pool instead of deleting it; an Impl released on a thread other
+  // than its owner is simply retired from pooling (memory-safe, the slot
+  // stays busy).
+  struct ImplDeleter {
+    void operator()(Impl* impl) const noexcept;
+  };
+  static std::unique_ptr<Impl, ImplDeleter> acquire_impl();
+  std::unique_ptr<Impl, ImplDeleter> impl_;
 };
 
 // True iff the instance admits a feasible preemptive migratory schedule on

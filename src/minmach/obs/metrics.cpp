@@ -7,18 +7,20 @@
 
 namespace minmach::obs {
 
-thread_local HotTallies hot_tallies;
-
 void drain_hot_tallies() {
-  HotTallies& t = hot_tallies;
+  HotTallies& t = hot_tallies();
   if (t.bigint_promotions == 0 && t.bigint_slow_ops == 0 &&
-      t.rat_fast_ops == 0 && t.rat_slow_ops == 0)
+      t.rat_fast_ops == 0 && t.rat_slow_ops == 0 && t.bigint_spill == 0 &&
+      t.arena_bytes == 0 && t.heap_allocs == 0)
     return;
   Registry& registry = Registry::global();
   registry.counter("bigint.promotions").add(t.bigint_promotions);
   registry.counter("bigint.slow_ops").add(t.bigint_slow_ops);
   registry.counter("rat.fast_ops").add(t.rat_fast_ops);
   registry.counter("rat.slow_ops").add(t.rat_slow_ops);
+  registry.counter("mem.bigint_spill").add(t.bigint_spill);
+  registry.counter("mem.arena_bytes").add(t.arena_bytes);
+  registry.counter("mem.heap_allocs").add(t.heap_allocs);
   t = HotTallies{};
 }
 
@@ -113,7 +115,7 @@ Snapshot Registry::snapshot() {
 }
 
 void Registry::reset() {
-  hot_tallies = HotTallies{};
+  hot_tallies() = HotTallies{};
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();

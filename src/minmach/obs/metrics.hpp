@@ -49,9 +49,27 @@ struct HotTallies {
   std::uint64_t bigint_slow_ops = 0;    // "bigint.slow_ops": limb-path arithmetic calls
   std::uint64_t rat_fast_ops = 0;       // "rat.fast_ops": int64 fast-path successes
   std::uint64_t rat_slow_ops = 0;       // "rat.slow_ops": BigInt fallback operations
+  // Memory-substrate counters (DESIGN.md §10). All three count *logical*
+  // per-value events, never physical arena chunk growth: chunk counts
+  // depend on how tasks land on threads, while these are functions of the
+  // workload alone, so merged reports stay byte-identical at any --threads.
+  std::uint64_t bigint_spill = 0;  // "mem.bigint_spill": limb stores that outgrew the inline buffer
+  std::uint64_t arena_bytes = 0;   // "mem.arena_bytes": bytes requested from arena scratch
+  std::uint64_t heap_allocs = 0;   // "mem.heap_allocs": substrate heap allocations (spills + legacy-mode temporaries)
 };
 
-extern thread_local HotTallies hot_tallies;
+// Accessor for the calling thread's tallies. A function-local
+// constant-initialized thread_local (rather than a namespace-scope extern
+// one) deliberately: the extern form is reached through the compiler's TLS
+// wrapper function, which GCC 12's UBSan flags as a possibly-null member
+// access once the tally sites are inlined into other translation units
+// (seen under the sanitize preset from util/arena.hpp). The inline
+// accessor's local is a plain COMDAT TLS symbol -- no wrapper, one object
+// program-wide.
+inline HotTallies& hot_tallies() noexcept {
+  static thread_local HotTallies tallies;
+  return tallies;
+}
 
 // Adds the calling thread's tallies to the registry counters and zeroes
 // them. Must run on every thread that did instrumented arithmetic before
@@ -59,9 +77,12 @@ extern thread_local HotTallies hot_tallies;
 void drain_hot_tallies();
 
 #if MINMACH_OBS_ENABLED
-#define MINMACH_OBS_TALLY(field) (++::minmach::obs::hot_tallies.field)
+#define MINMACH_OBS_TALLY(field) (++::minmach::obs::hot_tallies().field)
+#define MINMACH_OBS_TALLY_ADD(field, delta) \
+  (::minmach::obs::hot_tallies().field += (delta))
 #else
 #define MINMACH_OBS_TALLY(field) ((void)0)
+#define MINMACH_OBS_TALLY_ADD(field, delta) ((void)0)
 #endif
 
 // ---- registered metrics ------------------------------------------------

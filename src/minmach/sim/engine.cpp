@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "minmach/obs/metrics.hpp"
 #include "minmach/obs/trace.hpp"
+#include "minmach/util/arena.hpp"
 
 namespace minmach {
 
@@ -14,10 +16,43 @@ std::optional<Rat> OnlinePolicy::next_wakeup(const Simulator&) {
   return std::nullopt;
 }
 
-Simulator::Simulator(OnlinePolicy& policy, Rat speed)
-    : policy_(policy), speed_(std::move(speed)) {
-  if (!speed_.is_positive())
+Simulator::Simulator(OnlinePolicy& policy, Rat speed) {
+  reset(policy, std::move(speed));
+}
+
+void Simulator::reset(OnlinePolicy& policy, Rat speed) {
+  if (!speed.is_positive())
     throw std::invalid_argument("Simulator: speed must be positive");
+  policy_ = &policy;
+  speed_ = std::move(speed);
+  now_ = Rat(0);
+  instance_.clear();
+  deadline_.clear();
+  remaining_.clear();
+  state_.clear();
+  last_machine_.clear();
+  missed_list_.clear();
+  pending_.clear();
+  deadline_heap_.clear();
+  due_scratch_.clear();
+  open_jobs_ = 0;
+  max_deadline_ = Rat(0);
+  running_.clear();
+  trace_.clear();
+  machine_touched_.clear();
+  machines_used_ = 0;
+  stats_ = SimStats{};
+  prev_slice_jobs_.clear();
+}
+
+void Simulator::heap_push(std::vector<EventNode>& heap, Rat time, JobId job) {
+  heap.push_back({std::move(time), job});
+  std::push_heap(heap.begin(), heap.end(), EventAfter{});
+}
+
+void Simulator::heap_pop(std::vector<EventNode>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), EventAfter{});
+  heap.pop_back();
 }
 
 JobId Simulator::submit(const Job& job) {
@@ -29,12 +64,11 @@ JobId Simulator::submit(const Job& job) {
   if (job.release < now_)
     throw std::invalid_argument("Simulator: release date in the past");
   JobId id = instance_.add_job(job);
+  deadline_.push_back(job.deadline);
   remaining_.push_back(job.processing);
-  released_.push_back(false);
-  finished_.push_back(false);
-  missed_.push_back(false);
+  state_.push_back(JobState::kPending);
   last_machine_.push_back(kNeverRan);
-  pending_.push({job.release, id});
+  heap_push(pending_, job.release, id);
   ++open_jobs_;
   max_deadline_ = Rat::max(max_deadline_, job.deadline);
   return id;
@@ -46,8 +80,8 @@ void Simulator::submit_all(const Instance& instance) {
 
 std::vector<JobId> Simulator::active_jobs() const {
   std::vector<JobId> out;
-  for (JobId id = 0; id < instance_.size(); ++id) {
-    if (released_[id] && !finished_[id] && !missed_[id]) out.push_back(id);
+  for (JobId id = 0; id < state_.size(); ++id) {
+    if (state_[id] == JobState::kActive) out.push_back(id);
   }
   return out;
 }
@@ -58,9 +92,9 @@ bool Simulator::all_done() const {
 
 void Simulator::prune_deadline_heap() {
   while (!deadline_heap_.empty()) {
-    JobId id = deadline_heap_.top().job;
-    if (!finished_[id] && !missed_[id]) break;
-    deadline_heap_.pop();
+    JobId id = deadline_heap_.front().job;
+    if (state_[id] == JobState::kActive) break;
+    heap_pop(deadline_heap_);
   }
 }
 
@@ -70,8 +104,7 @@ void Simulator::set_running(std::size_t machine, JobId job) {
     machine_touched_.resize(machine + 1, false);
   }
   if (job != kInvalidJob) {
-    if (job >= instance_.size() || !released_[job] || finished_[job] ||
-        missed_[job])
+    if (job >= state_.size() || state_[job] != JobState::kActive)
       throw std::logic_error("Simulator: dispatching inactive job");
     // A job must not run on two machines at once.
     for (std::size_t m = 0; m < running_.size(); ++m) {
@@ -92,30 +125,30 @@ void Simulator::deliver_events_at_now() {
   for (std::size_t m = 0; m < running_.size(); ++m) {
     JobId job = running_[m];
     if (job != kInvalidJob && remaining_[job].is_zero()) {
-      finished_[job] = true;
+      state_[job] = JobState::kFinished;
       --open_jobs_;
       running_[m] = kInvalidJob;
       ++stats_.completions;
       if (tracing)
         obs::trace_event("sim", "complete",
                          {{"t", now_}, {"job", job}, {"machine", m}});
-      policy_.on_complete(*this, job);
+      policy_->on_complete(*this, job);
     }
   }
   // 2. Deadline misses (running or waiting). Due jobs are popped off the
   // deadline heap and handled in job-id order (the order the old full scan
   // used), so traces and policy callbacks are unchanged.
   prune_deadline_heap();
-  if (!deadline_heap_.empty() && deadline_heap_.top().time <= now_) {
-    std::vector<JobId> due;
-    while (!deadline_heap_.empty() && deadline_heap_.top().time <= now_) {
-      JobId id = deadline_heap_.top().job;
-      deadline_heap_.pop();
-      if (!finished_[id] && !missed_[id]) due.push_back(id);
+  if (!deadline_heap_.empty() && deadline_heap_.front().time <= now_) {
+    due_scratch_.clear();
+    while (!deadline_heap_.empty() && deadline_heap_.front().time <= now_) {
+      JobId id = deadline_heap_.front().job;
+      heap_pop(deadline_heap_);
+      if (state_[id] == JobState::kActive) due_scratch_.push_back(id);
     }
-    std::sort(due.begin(), due.end());
-    for (JobId id : due) {
-      missed_[id] = true;
+    std::sort(due_scratch_.begin(), due_scratch_.end());
+    for (JobId id : due_scratch_) {
+      state_[id] = JobState::kMissed;
       --open_jobs_;
       missed_list_.push_back(id);
       for (auto& slot : running_)
@@ -125,15 +158,15 @@ void Simulator::deliver_events_at_now() {
         obs::trace_event("sim", "miss",
                          {{"t", now_}, {"job", id},
                           {"remaining", remaining_[id]}});
-      policy_.on_miss(*this, id);
+      policy_->on_miss(*this, id);
     }
   }
   // 3. Releases due now.
-  while (!pending_.empty() && pending_.top().time <= now_) {
-    JobId id = pending_.top().job;
-    pending_.pop();
-    released_[id] = true;
-    deadline_heap_.push({instance_.job(id).deadline, id});
+  while (!pending_.empty() && pending_.front().time <= now_) {
+    JobId id = pending_.front().job;
+    heap_pop(pending_);
+    state_[id] = JobState::kActive;
+    heap_push(deadline_heap_, deadline_[id], id);
     ++stats_.releases;
     if (tracing) {
       const Job& job = instance_.job(id);
@@ -142,13 +175,13 @@ void Simulator::deliver_events_at_now() {
                         {"deadline", job.deadline},
                         {"processing", job.processing}});
     }
-    policy_.on_release(*this, id);
+    policy_->on_release(*this, id);
   }
   // 4. Let the policy (re)decide what runs.
   ++stats_.dispatches;
   if (tracing) {
     std::vector<JobId> before = running_;
-    policy_.dispatch(*this);
+    policy_->dispatch(*this);
     for (std::size_t m = 0; m < running_.size(); ++m) {
       JobId job = running_[m];
       if ((m < before.size() ? before[m] : kInvalidJob) == job) continue;
@@ -159,13 +192,13 @@ void Simulator::deliver_events_at_now() {
                                       : static_cast<std::int64_t>(job)}});
     }
   } else {
-    policy_.dispatch(*this);
+    policy_->dispatch(*this);
   }
 }
 
 Rat Simulator::next_event_time(const Rat& horizon) {
   Rat next = horizon;
-  if (!pending_.empty()) next = Rat::min(next, pending_.top().time);
+  if (!pending_.empty()) next = Rat::min(next, pending_.front().time);
   for (std::size_t m = 0; m < running_.size(); ++m) {
     JobId job = running_[m];
     if (job != kInvalidJob)
@@ -173,8 +206,8 @@ Rat Simulator::next_event_time(const Rat& horizon) {
   }
   prune_deadline_heap();
   if (!deadline_heap_.empty())
-    next = Rat::min(next, deadline_heap_.top().time);
-  if (auto wakeup = policy_.next_wakeup(*this); wakeup && now_ < *wakeup) {
+    next = Rat::min(next, deadline_heap_.front().time);
+  if (auto wakeup = policy_->next_wakeup(*this); wakeup && now_ < *wakeup) {
     if (*wakeup <= next && obs::trace_enabled())
       obs::trace_event("sim", "wakeup", {{"t", *wakeup}});
     next = Rat::min(next, *wakeup);
@@ -188,7 +221,7 @@ void Simulator::advance_to(const Rat& t) {
   // does not run in this slice was preempted; one that resumes on a machine
   // other than the one it last ran on migrated.
   for (JobId job : prev_slice_jobs_) {
-    if (finished_[job] || missed_[job]) continue;
+    if (state_[job] != JobState::kActive) continue;
     if (std::find(running_.begin(), running_.end(), job) == running_.end()) {
       ++stats_.preemptions;
       if (tracing)
@@ -258,9 +291,10 @@ void Simulator::publish_metrics(const std::string& label) const {
       .observe(static_cast<std::int64_t>(machines_used_));
 }
 
-SimRun simulate(OnlinePolicy& policy, const Instance& instance, Rat speed,
-                bool require_no_miss) {
-  Simulator sim(policy, std::move(speed));
+namespace {
+
+SimRun finish_run(Simulator& sim, OnlinePolicy& policy,
+                  const Instance& instance, bool require_no_miss) {
   sim.submit_all(instance);
   sim.run_to_completion();
   sim.publish_metrics(policy.name());
@@ -272,6 +306,37 @@ SimRun simulate(OnlinePolicy& policy, const Instance& instance, Rat speed,
     throw std::runtime_error("simulate: policy " + policy.name() +
                              " missed a deadline");
   return run;
+}
+
+}  // namespace
+
+SimRun simulate_pooled_or_fresh(OnlinePolicy& policy, const Instance& instance,
+                                Rat speed, bool require_no_miss) {
+  // One pooled Simulator per thread: reset() keeps every container's
+  // storage, so steady-state sweeps reuse the SoA arrays, event heaps, and
+  // trace machine lists run after run. The busy flag guards against a
+  // policy that re-enters simulate() from a callback (none do today);
+  // legacy mode opts out entirely so the memory bench can measure the
+  // seed's construct-per-run behaviour.
+  thread_local Simulator pooled;
+  thread_local bool busy = false;
+  if (busy || util::substrate_legacy()) {
+    Simulator fresh(policy, std::move(speed));
+    return finish_run(fresh, policy, instance, require_no_miss);
+  }
+  busy = true;
+  struct BusyGuard {
+    bool& flag;
+    ~BusyGuard() { flag = false; }
+  } guard{busy};
+  pooled.reset(policy, std::move(speed));
+  return finish_run(pooled, policy, instance, require_no_miss);
+}
+
+SimRun simulate(OnlinePolicy& policy, const Instance& instance, Rat speed,
+                bool require_no_miss) {
+  return simulate_pooled_or_fresh(policy, instance, std::move(speed),
+                                  require_no_miss);
 }
 
 Schedule Simulator::schedule() const {

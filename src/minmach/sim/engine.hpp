@@ -14,12 +14,20 @@
 // a job, run_until(t), inspect remaining processing and the trace, decide
 // the next release. This realizes the paper's game between the adversary
 // and "any online algorithm".
+//
+// Memory layout (DESIGN.md §10): per-job state is a structure of arrays
+// keyed by the dense JobId -- deadline, remaining work, and a one-byte
+// lifecycle state in parallel vectors -- so the hot event loop walks flat
+// arrays instead of chasing Job records. The release and deadline queues
+// are binary heaps over pooled vectors (std::push_heap/pop_heap), and
+// reset() clears every container without releasing storage, which lets
+// simulate() keep one pooled Simulator per thread: steady-state sweeps
+// run with zero container construction per simulation.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -29,6 +37,7 @@
 namespace minmach {
 
 class Simulator;
+struct SimRun;
 
 // Live event counts for one simulation. Preemptions and migrations are
 // counted as they happen (a job set aside with work left; a job resuming on
@@ -73,6 +82,11 @@ class Simulator {
   // simulator.
   explicit Simulator(OnlinePolicy& policy, Rat speed = Rat(1));
 
+  // Rewinds to the empty t=0 state for a new run against `policy`. All
+  // container storage (SoA arrays, event heaps, trace machines) is kept,
+  // so a reset-reuse cycle allocates nothing once warmed up.
+  void reset(OnlinePolicy& policy, Rat speed = Rat(1));
+
   // Queues a job; it is revealed to the policy at job.release, which must
   // be >= now().
   JobId submit(const Job& job);
@@ -91,9 +105,15 @@ class Simulator {
 
   // Work still owed to the job (in processing units, not wall time).
   [[nodiscard]] const Rat& remaining(JobId id) const { return remaining_[id]; }
-  [[nodiscard]] bool released(JobId id) const { return released_[id]; }
-  [[nodiscard]] bool finished(JobId id) const { return finished_[id]; }
-  [[nodiscard]] bool missed(JobId id) const { return missed_[id]; }
+  [[nodiscard]] bool released(JobId id) const {
+    return state_[id] != JobState::kPending;
+  }
+  [[nodiscard]] bool finished(JobId id) const {
+    return state_[id] == JobState::kFinished;
+  }
+  [[nodiscard]] bool missed(JobId id) const {
+    return state_[id] == JobState::kMissed;
+  }
   [[nodiscard]] const std::vector<JobId>& missed_jobs() const {
     return missed_list_;
   }
@@ -119,48 +139,61 @@ class Simulator {
   // machine counts go to a histogram, so sweep aggregation is commutative.
   void publish_metrics(const std::string& label) const;
 
-  [[nodiscard]] OnlinePolicy& policy() { return policy_; }
+  [[nodiscard]] OnlinePolicy& policy() { return *policy_; }
 
  private:
+  // Lifecycle of a submitted job. kActive covers released-and-open;
+  // kFinished/kMissed imply released, so released() is a != kPending test.
+  enum class JobState : std::uint8_t {
+    kPending,   // submitted, release event not yet delivered
+    kActive,    // released, neither finished nor missed
+    kFinished,  // full processing delivered
+    kMissed,    // deadline passed with work left
+  };
+
+  // Only the pooled-simulator path in simulate() may build an empty
+  // Simulator; everyone else must supply a policy up front.
+  Simulator() = default;
+  friend SimRun simulate_pooled_or_fresh(OnlinePolicy& policy,
+                                         const Instance& instance, Rat speed,
+                                         bool require_no_miss);
+
   void deliver_events_at_now();
   [[nodiscard]] Rat next_event_time(const Rat& horizon);
   void advance_to(const Rat& t);
 
-  OnlinePolicy& policy_;
-  Rat speed_;
+  OnlinePolicy* policy_ = nullptr;
+  Rat speed_ = Rat(1);
   Rat now_ = Rat(0);
 
   Instance instance_;
+  // Structure-of-arrays job store, indexed by JobId. deadline_ duplicates
+  // instance_'s deadlines so the miss/advance loops stay on flat arrays.
+  std::vector<Rat> deadline_;
   std::vector<Rat> remaining_;
-  std::vector<bool> released_;
-  std::vector<bool> finished_;
-  std::vector<bool> missed_;
+  std::vector<JobState> state_;
+  std::vector<std::size_t> last_machine_;  // kNeverRan until first run
   std::vector<JobId> missed_list_;
 
-  struct PendingRelease {
+  // Min-heaps by (time, job) over pooled vectors; node storage survives
+  // reset(). pending_ holds future releases; deadline_heap_ the deadlines
+  // of released jobs, lazily pruned (entries for finished/missed jobs are
+  // skipped at peek time) so next_event_time() and the miss scan touch
+  // only due jobs instead of rescanning the whole instance.
+  struct EventNode {
     Rat time;
     JobId job;
-    bool operator>(const PendingRelease& other) const {
-      return time > other.time || (time == other.time && job > other.job);
+  };
+  struct EventAfter {
+    bool operator()(const EventNode& a, const EventNode& b) const {
+      return b.time < a.time || (b.time == a.time && b.job < a.job);
     }
   };
-  std::priority_queue<PendingRelease, std::vector<PendingRelease>,
-                      std::greater<>>
-      pending_;
-
-  // Deadlines of released jobs, lazily pruned: entries for finished/missed
-  // jobs are skipped at peek time. Lets next_event_time() and the miss scan
-  // touch only due jobs instead of rescanning the whole instance.
-  struct ActiveDeadline {
-    Rat time;
-    JobId job;
-    bool operator>(const ActiveDeadline& other) const {
-      return time > other.time || (time == other.time && job > other.job);
-    }
-  };
-  std::priority_queue<ActiveDeadline, std::vector<ActiveDeadline>,
-                      std::greater<>>
-      deadline_heap_;
+  std::vector<EventNode> pending_;
+  std::vector<EventNode> deadline_heap_;
+  std::vector<JobId> due_scratch_;  // miss batch, reused every delivery
+  void heap_push(std::vector<EventNode>& heap, Rat time, JobId job);
+  void heap_pop(std::vector<EventNode>& heap);
   void prune_deadline_heap();
 
   // Submitted jobs not yet finished or missed; all_done() is O(1).
@@ -174,14 +207,15 @@ class Simulator {
   std::size_t machines_used_ = 0;
 
   SimStats stats_;
-  std::vector<JobId> prev_slice_jobs_;      // jobs processed in the last slice
-  std::vector<std::size_t> last_machine_;   // per job; kNeverRan until first run
+  std::vector<JobId> prev_slice_jobs_;  // jobs processed in the last slice
   static constexpr std::size_t kNeverRan = static_cast<std::size_t>(-1);
 };
 
 // Convenience driver: simulate the full instance against the policy and
 // return the resulting schedule (canonicalized). Throws std::runtime_error
-// if the policy misses a deadline and require_no_miss is true.
+// if the policy misses a deadline and require_no_miss is true. Runs on a
+// per-thread pooled Simulator (see reset()) unless substrate_legacy() is
+// on or the call re-enters simulate() from a policy callback.
 struct SimRun {
   Schedule schedule;
   std::size_t machines_used = 0;

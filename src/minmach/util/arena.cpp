@@ -1,0 +1,10 @@
+#include "minmach/util/arena.hpp"
+
+namespace minmach::util {
+
+Arena& thread_arena() noexcept {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace minmach::util

@@ -16,14 +16,25 @@
 // representations on the fast path. (`debug_force_promote()` deliberately
 // breaks the invariant for differential testing; all operations still accept
 // such non-canonical *inputs* and produce canonical outputs.)
+//
+// Memory substrate (DESIGN.md §10): promoted magnitudes live in a
+// small-buffer-optimized limb store — up to two limbs (values below 2^128,
+// which covers the bulk of the strong-lb recursion; measured mean
+// denominator size is ~95 bits) sit inline in the BigInt itself, larger
+// magnitudes spill to a heap block whose capacity is reused across
+// assignments. Intermediate magnitudes never touch the store: the
+// arithmetic kernels compute into thread-arena scratch (util/arena.hpp)
+// and only the canonical result is copied in, so limb-tier arithmetic is
+// allocation-free in the common case.
 #pragma once
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <new>
 #include <string>
 #include <string_view>
-#include <vector>
 
 namespace minmach {
 
@@ -141,7 +152,8 @@ class BigInt {
     return std::strong_ordering::equal;
   }
 
-  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);  // non-negative result
+  // Non-negative result; magnitude-only Euclid on arena scratch.
+  [[nodiscard]] static BigInt gcd(const BigInt& a, const BigInt& b);
   [[nodiscard]] static BigInt lcm(const BigInt& a, const BigInt& b);
 
   // Number of significant bits of |*this| (0 for zero).
@@ -162,12 +174,71 @@ class BigInt {
   static constexpr int kLimbBits = 64;
   static constexpr std::int64_t INT64_MIN_VALUE =
       (-0x7fffffffffffffffll - 1);
+  // 4 limbs = 256 bits inline. The adversary families' denominators average
+  // ~95 bits, so the inline buffer absorbs the bulk of slow-tier values
+  // (the deep-recursion tail past 256 bits still spills). Wider buffers
+  // were measured slower overall: every BigInt move/copy pays for the
+  // inline bytes, and past 4 limbs that overtakes the mallocs saved.
+  static constexpr std::size_t kInlineLimbs = 4;
+
+  // Small-buffer-optimized magnitude storage. Magnitudes of at most
+  // kInlineLimbs limbs live in `inline_`; larger ones spill to `heap_`,
+  // whose capacity grows geometrically and is never released until the
+  // store is destroyed or moved from — so a BigInt repeatedly assigned
+  // large values allocates O(log max_size) times, not O(assignments).
+  // Spills are the only heap traffic BigInt generates (tallied as
+  // "mem.bigint_spill"); all intermediates use arena scratch. Under
+  // util::substrate_legacy() the inline buffer is disabled (every non-empty
+  // magnitude is heap-backed), reproducing the pre-substrate
+  // std::vector<Limb> storage for the memory bench's baseline.
+  class LimbStore {
+   public:
+    LimbStore() = default;
+    LimbStore(const LimbStore& other) { assign(other.data(), other.size_); }
+    LimbStore(LimbStore&& other) noexcept { steal(other); }
+    LimbStore& operator=(const LimbStore& other) {
+      if (this != &other) assign(other.data(), other.size_);
+      return *this;
+    }
+    LimbStore& operator=(LimbStore&& other) noexcept {
+      if (this != &other) {
+        ::operator delete(heap_);
+        steal(other);
+      }
+      return *this;
+    }
+    ~LimbStore() { ::operator delete(heap_); }
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] const Limb* data() const {
+      return heap_ != nullptr ? heap_ : inline_;
+    }
+    [[nodiscard]] Limb* data() { return heap_ != nullptr ? heap_ : inline_; }
+    Limb operator[](std::size_t i) const { return data()[i]; }
+    [[nodiscard]] Limb back() const { return data()[size_ - 1]; }
+    void clear() { size_ = 0; }
+    // Copies `n` limbs in; previous contents are discarded. `src` must not
+    // alias this store's own buffer when a spill can occur (all call sites
+    // copy out of arena scratch or a different BigInt).
+    void assign(const Limb* src, std::size_t n);
+    void push_back(Limb limb);
+
+   private:
+    void steal(LimbStore& other) noexcept;
+    void spill(std::size_t needed, bool preserve);
+
+    Limb inline_[kInlineLimbs] = {};
+    Limb* heap_ = nullptr;
+    std::uint32_t size_ = 0;
+    std::uint32_t cap_ = kInlineLimbs;
+  };
 
   // Small tier: small_ == true, value in value_, limbs_ empty, negative_
   // unused (false). Limb tier: small_ == false, |value| in limbs_
   // little-endian with no trailing zero limbs, sign in negative_.
   std::int64_t value_ = 0;
-  std::vector<Limb> limbs_;
+  LimbStore limbs_;
   bool small_ = true;
   bool negative_ = false;
 
@@ -179,9 +250,10 @@ class BigInt {
   [[nodiscard]] MagView mag_view(Limb& scratch) const;
 
   // Adopts a magnitude + sign and restores the canonical-form invariant
-  // (demotes to the small tier whenever the value fits int64).
-  void assign_mag(std::vector<Limb>&& mag, bool negative);
-  static BigInt from_mag(std::vector<Limb>&& mag, bool negative);
+  // (demotes to the small tier whenever the value fits int64). The source
+  // is borrowed (typically arena scratch) and copied into the limb store.
+  void assign_mag(const Limb* mag, std::size_t size, bool negative);
+  static BigInt from_mag(const Limb* mag, std::size_t size, bool negative);
 
   BigInt& add_sub_slow(const BigInt& rhs, bool negate_rhs);
   BigInt& mul_slow(const BigInt& rhs);

@@ -46,6 +46,10 @@ bool Cli::get_bool(const std::string& key, bool default_value) {
   return it->second == "1" || it->second == "true" || it->second == "yes";
 }
 
+bool Cli::was_given(const std::string& key) const {
+  return values_.find(key) != values_.end();
+}
+
 void Cli::check_unknown() const {
   for (const auto& [key, used] : seen_) {
     if (!used)

@@ -20,6 +20,11 @@ class Cli {
   std::string get_string(const std::string& key, std::string default_value);
   bool get_bool(const std::string& key, bool default_value);
 
+  // True iff the flag appeared on the command line (regardless of whether a
+  // getter consumed it). Lets callers distinguish an explicit value that
+  // happens to equal the default from the flag being absent.
+  [[nodiscard]] bool was_given(const std::string& key) const;
+
   void check_unknown() const;
 
  private:

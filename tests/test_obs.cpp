@@ -16,6 +16,7 @@
 #include "minmach/obs/metrics.hpp"
 #include "minmach/obs/report.hpp"
 #include "minmach/obs/trace.hpp"
+#include "minmach/util/bigint.hpp"
 #include "minmach/util/rational.hpp"
 
 namespace minmach::obs {
@@ -197,6 +198,44 @@ TEST(Metrics, ParallelMergeIsThreadCountInvariant) {
 }
 
 #if MINMACH_OBS_ENABLED
+// The memory-substrate counters (mem.bigint_spill / mem.arena_bytes /
+// mem.heap_allocs) tally logical allocation *requests* -- a pure function
+// of the workload, independent of which worker thread serves a task or how
+// warm that worker's arena is. Merged across parallel_map's per-thread
+// drain, the totals must therefore be byte-identical at any thread count,
+// exactly like the arithmetic tallies above (DESIGN.md §10).
+TEST(Metrics, MemTalliesMergeDeterministicallyAcrossThreadCounts) {
+  auto run = [](std::size_t threads) {
+    Registry& r = Registry::global();
+    (void)r.snapshot();  // drain any residue left on the calling thread
+    r.reset();
+    bench::parallel_map(12, threads, [](std::size_t i) {
+      // Per-task BigInt work past the inline limb buffer: deterministic
+      // spill, arena-scratch, and heap-alloc tallies that depend only on i.
+      BigInt v(1);
+      for (std::size_t k = 0; k < 8 + (i % 4) * 4; ++k)
+        v *= BigInt((std::int64_t{1} << 61) + static_cast<std::int64_t>(i));
+      (void)BigInt::gcd(v, v + BigInt(1));
+      return v.bit_length();
+    });
+    return r.snapshot();
+  };
+  Snapshot single = run(1);
+  Snapshot parallel = run(4);
+  EXPECT_EQ(single.counters.at("mem.bigint_spill"),
+            parallel.counters.at("mem.bigint_spill"));
+  EXPECT_EQ(single.counters.at("mem.arena_bytes"),
+            parallel.counters.at("mem.arena_bytes"));
+  EXPECT_EQ(single.counters.at("mem.heap_allocs"),
+            parallel.counters.at("mem.heap_allocs"));
+  EXPECT_EQ(single, parallel);
+  EXPECT_EQ(single.to_json(), parallel.to_json());
+  // The workload really exercised the substrate.
+  EXPECT_GT(single.counters.at("mem.bigint_spill"), 0u);
+  EXPECT_GT(single.counters.at("mem.arena_bytes"), 0u);
+  Registry::global().reset();
+}
+
 TEST(Metrics, HotTalliesDrainIntoRegistry) {
   Registry& r = Registry::global();
   r.reset();

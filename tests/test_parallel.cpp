@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -75,6 +76,74 @@ TEST(ParallelMap, ResolveThreadsCapsAtTaskCount) {
   EXPECT_GE(bench::resolve_threads(0, 10), 1u);   // "all cores", capped
   EXPECT_LE(bench::resolve_threads(0, 10), 10u);
   EXPECT_LE(bench::resolve_threads(-1, 4), 4u);
+}
+
+TEST(ParallelMap, DefaultThreadsClampAtHardwareConcurrency) {
+  // <= 0 means "all cores": never more workers than the machine has (and
+  // never zero, even if hardware_concurrency() reports 0).
+  const std::size_t cores = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(bench::resolve_threads(-1, 1000), cores);
+  EXPECT_EQ(bench::resolve_threads(0, 1000), cores);
+  // An explicit positive request is honoured even when it oversubscribes
+  // (the determinism harness relies on that to shake out ordering bugs).
+  EXPECT_EQ(bench::resolve_threads(static_cast<std::int64_t>(cores) + 7, 1000),
+            cores + 7);
+}
+
+TEST(ParallelMap, StealingAndStaticChunkingProduceIdenticalResults) {
+  // The scheduler only decides WHICH worker runs a task; results land at
+  // their original index either way, so both chunking modes -- and any
+  // thread count -- must agree byte-for-byte.
+  auto task = [](std::size_t i) {
+    // Skew: the first quarter of the index space is ~50x heavier, so under
+    // static chunking worker 0 holds almost all the work.
+    std::size_t rounds = (i < 8) ? 5000 : 100;
+    std::uint64_t acc = i;
+    for (std::size_t k = 0; k < rounds; ++k) acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+    return acc;
+  };
+  auto serial = bench::parallel_map_scheduled(32, 1, task,
+                                              bench::Chunking::kWorkStealing);
+  for (std::size_t threads : {2u, 4u}) {
+    bench::ScheduleStats steal_stats, static_stats;
+    auto stolen = bench::parallel_map_scheduled(
+        32, threads, task, bench::Chunking::kWorkStealing, &steal_stats);
+    auto chunked = bench::parallel_map_scheduled(
+        32, threads, task, bench::Chunking::kStatic, &static_stats);
+    EXPECT_EQ(stolen, serial) << "threads=" << threads;
+    EXPECT_EQ(chunked, serial) << "threads=" << threads;
+    // Every task ran exactly once in each mode, whatever the stealing did.
+    std::uint64_t steal_tasks = 0, static_tasks = 0;
+    for (const bench::WorkerLoad& w : steal_stats.workers) steal_tasks += w.tasks;
+    for (const bench::WorkerLoad& w : static_stats.workers)
+      static_tasks += w.tasks;
+    EXPECT_EQ(steal_tasks, 32u);
+    EXPECT_EQ(static_tasks, 32u);
+    // Static chunking never steals, by definition.
+    EXPECT_EQ(static_stats.total_steals(), 0u);
+  }
+}
+
+TEST(ParallelMap, ScheduleStatsAccountForEveryWorker) {
+  bench::ScheduleStats stats;
+  auto out = bench::parallel_map_scheduled(
+      20, 4, [](std::size_t i) { return i; }, bench::Chunking::kWorkStealing,
+      &stats);
+  ASSERT_EQ(out.size(), 20u);
+  ASSERT_EQ(stats.workers.size(), 4u);
+  std::uint64_t total = 0;
+  for (const bench::WorkerLoad& w : stats.workers) total += w.tasks;
+  EXPECT_EQ(total, 20u);
+  // max_busy_share is a fraction of the total busy time.
+  EXPECT_GE(stats.max_busy_share(), 0.0);
+  EXPECT_LE(stats.max_busy_share(), 1.0);
+  // Single-threaded runs fill exactly one worker slot.
+  bench::ScheduleStats solo;
+  (void)bench::parallel_map_scheduled(
+      5, 1, [](std::size_t i) { return i; }, bench::Chunking::kStatic, &solo);
+  ASSERT_EQ(solo.workers.size(), 1u);
+  EXPECT_EQ(solo.workers[0].tasks, 5u);
+  EXPECT_EQ(solo.total_steals(), 0u);
 }
 
 }  // namespace
