@@ -23,6 +23,7 @@
 #include "minmach/obs/report.hpp"
 #include "minmach/obs/trace.hpp"
 #include "minmach/util/cli.hpp"
+#include "minmach/util/opt_cache.hpp"
 #include "minmach/util/table.hpp"
 
 namespace minmach::bench {
@@ -45,13 +46,24 @@ inline void require(bool condition, const std::string& message) {
   }
 }
 
+// Default entry budget for --cache-capacity (~3 MB of verdicts).
+inline constexpr std::int64_t kDefaultCacheCapacity = 1 << 16;
+
 // Per-driver run context. Reads the common --report / --trace flags (so
 // every driver accepts them uniformly), installs the global trace sink for
 // the run's lifetime, prints the standard header, and -- on finish() or
 // destruction -- writes the machine-readable run report: config, result
 // tables, measured-vs-bound checks, and a metrics snapshot. The report
 // excludes wall-clock timings and reproducibility-neutral flags (--threads,
-// --report, --trace), so its bytes are identical at any thread count.
+// --report, --trace, --cache, --cache-capacity), so its bytes are identical
+// at any thread count and with the OPT cache on or off (cache state only
+// moves execution-class metrics, which snapshots segregate).
+//
+// Also reads --cache {on,off} / --cache-capacity N and configures the
+// global affine-canonical OPT cache accordingly, so every driver can A/B
+// the query engine. Default off: the o01/m01 substrate benches measure
+// legacy-vs-fast ratios that a shared verdict cache would collapse, so
+// caching is strictly opt-in per run.
 class Run {
  public:
   Run(Cli& cli, std::string experiment, std::string paper_claim) {
@@ -61,6 +73,22 @@ class Run {
       sink_ = std::make_unique<obs::TraceSink>(trace_path);
       obs::TraceSink::set_global(sink_.get());
     }
+    const std::string cache_mode = cli.get_string("cache", "off");
+    const std::int64_t cache_capacity =
+        cli.get_int("cache-capacity", kDefaultCacheCapacity);
+    if (cache_mode != "on" && cache_mode != "off") {
+      std::cerr << "error: --cache must be 'on' or 'off' (got '" << cache_mode
+                << "')\n";
+      std::exit(2);
+    }
+    if (cache_capacity <= 0) {
+      std::cerr << "error: --cache-capacity must be a positive entry budget "
+                   "(omit the flag for the default "
+                << kDefaultCacheCapacity << ")\n";
+      std::exit(2);
+    }
+    util::OptCache::global().configure(
+        cache_mode == "on", static_cast<std::size_t>(cache_capacity));
     obs::Registry::global().reset();
     print_header(experiment, paper_claim);
     report_.experiment = std::move(experiment);

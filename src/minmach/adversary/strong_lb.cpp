@@ -35,8 +35,17 @@ class StrongLbGame {
   };
 
   // Builds I_k released into [start, start + scale); sim time must be
-  // `start` on entry and is `result.t0` on exit.
+  // `start` on entry and is `result.t0` on exit. Records the contiguous job
+  // range this call (including nested levels and Case 2's j*) released, so
+  // consumers can extract every level's sub-instance (StrongLbLevelSlice).
   Level build(int k, const Rat& start, const Rat& scale) {
+    const std::size_t job_begin = sim_.instance().size();
+    Level out = build_inner(k, start, scale);
+    slices_.push_back({k, job_begin, sim_.instance().size()});
+    return out;
+  }
+
+  Level build_inner(int k, const Rat& start, const Rat& scale) {
     if (k < 2) throw std::invalid_argument("strong_lb: k >= 2 required");
     // Histograms (not gauges): commutative merges keep parallel sweeps
     // byte-deterministic. den_bits tracks how fast the rescaling blows up
@@ -207,6 +216,7 @@ class StrongLbGame {
   MachineOfFn machine_of_fn_;
   StrongLbParams params_;
   Simulator sim_;
+  std::vector<StrongLbLevelSlice> slices_;
 };
 
 }  // namespace
@@ -231,7 +241,16 @@ StrongLbResult run_strong_lower_bound(OnlinePolicy& policy,
   result.machines_used = game.sim_.machines_used();
   result.jobs = game.sim_.instance().size();
   result.opponent_missed_deadline = game.sim_.any_missed();
+  result.level_slices = std::move(game.slices_);
   return result;
+}
+
+Instance slice_instance(const StrongLbResult& result,
+                        const StrongLbLevelSlice& slice) {
+  const std::vector<Job>& jobs = result.instance.jobs();
+  auto begin = jobs.begin() + static_cast<std::ptrdiff_t>(slice.job_begin);
+  auto end = jobs.begin() + static_cast<std::ptrdiff_t>(slice.job_end);
+  return Instance(std::vector<Job>(begin, end));
 }
 
 StrongLbResult run_strong_lower_bound(NonMigratoryPolicy& policy, int levels,

@@ -49,6 +49,18 @@ struct StrongLbParams {
   int max_short_jobs = 16;
 };
 
+// One recursive build(k, start, scale) call of the game, as the contiguous
+// job range it released: the jobs of I_k, including every nested level.
+// Recorded in post-order (children before their parent; the last slice is
+// the whole instance). Each slice is itself a complete strong-lb
+// sub-instance -- an affine copy of the other same-level builds -- which is
+// what the query engine's canonical OPT cache collides on (bench/q01).
+struct StrongLbLevelSlice {
+  int level = 0;           // the k of this build call (2 = base gadget)
+  std::size_t job_begin = 0;  // [job_begin, job_end) in release order
+  std::size_t job_end = 0;
+};
+
 struct StrongLbResult {
   Instance instance;               // everything the adversary released
   std::vector<JobId> critical_jobs;  // k jobs, k distinct machines
@@ -56,7 +68,13 @@ struct StrongLbResult {
   std::size_t machines_used = 0;   // machines opened by the opponent
   std::size_t jobs = 0;
   bool opponent_missed_deadline = false;
+  std::vector<StrongLbLevelSlice> level_slices;  // post-order, see above
 };
+
+// The sub-instance a recorded slice released (jobs [job_begin, job_end) of
+// result.instance, absolute times preserved).
+[[nodiscard]] Instance slice_instance(const StrongLbResult& result,
+                                      const StrongLbLevelSlice& slice);
 
 // Plays the k-level game against the policy. Throws std::logic_error if an
 // invariant of the construction fails against this opponent (which would

@@ -1,0 +1,79 @@
+#include "minmach/core/canonical.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "minmach/util/rational.hpp"
+
+namespace minmach {
+
+namespace {
+
+// value * (lcm / value.den()) -- exact because lcm is a multiple of den.
+BigInt scale_to_grid(const Rat& value, const BigInt& lcm) {
+  return value.num() * (lcm / value.den());
+}
+
+}  // namespace
+
+CanonicalInstance canonicalize(const Instance& instance) {
+  CanonicalInstance out;
+  if (instance.empty()) return out;
+  const std::vector<Job>& jobs = instance.jobs();
+
+  Rat r_min = jobs[0].release;
+  for (const Job& job : jobs) r_min = Rat::min(r_min, job.release);
+
+  // Translated rationals and the LCM of their denominators in one pass.
+  std::vector<std::pair<Rat, Rat>> windows;  // (r - r_min, d - r_min)
+  windows.reserve(jobs.size());
+  BigInt lcm(1);
+  for (const Job& job : jobs) {
+    windows.emplace_back(job.release - r_min, job.deadline - r_min);
+    lcm = BigInt::lcm(lcm, windows.back().first.den());
+    lcm = BigInt::lcm(lcm, windows.back().second.den());
+    lcm = BigInt::lcm(lcm, job.processing.den());
+  }
+
+  out.jobs.reserve(jobs.size());
+  BigInt gcd(0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    CanonicalJob canonical;
+    canonical.release = scale_to_grid(windows[j].first, lcm);
+    canonical.deadline = scale_to_grid(windows[j].second, lcm);
+    canonical.processing = scale_to_grid(jobs[j].processing, lcm);
+    gcd = BigInt::gcd(gcd, canonical.release);
+    gcd = BigInt::gcd(gcd, canonical.deadline);
+    gcd = BigInt::gcd(gcd, canonical.processing);
+    out.jobs.push_back(std::move(canonical));
+  }
+  // gcd == 0 only if every value is zero (degenerate all-zero jobs); the
+  // grid is already minimal then.
+  if (gcd > BigInt(1)) {
+    for (CanonicalJob& job : out.jobs) {
+      job.release /= gcd;
+      job.deadline /= gcd;
+      job.processing /= gcd;
+    }
+  }
+  std::sort(out.jobs.begin(), out.jobs.end());
+  return out;
+}
+
+util::Digest128 fingerprint(const CanonicalInstance& canonical) {
+  util::Hasher128 hasher;
+  hasher.absorb(0x6d696e6d61636831ULL);  // domain tag: "minmach1"
+  hasher.absorb(canonical.jobs.size());
+  for (const CanonicalJob& job : canonical.jobs) {
+    hash_append(hasher, job.release);
+    hash_append(hasher, job.deadline);
+    hash_append(hasher, job.processing);
+  }
+  return hasher.digest();
+}
+
+util::Digest128 canonical_fingerprint(const Instance& instance) {
+  return fingerprint(canonicalize(instance));
+}
+
+}  // namespace minmach

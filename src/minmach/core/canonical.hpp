@@ -1,0 +1,65 @@
+// Affine-canonical normal form and structural fingerprint for instances
+// (DESIGN.md §11).
+//
+// Machine minimization is invariant under the affine time maps t -> a*t + b
+// (a > 0): translating every release/deadline by b and scaling every
+// time parameter (including processing, on unit-speed machines) by a
+// preserves feasibility on any machine count, and the job order never
+// matters. The normal form quotients out exactly that symmetry group:
+//
+//   1. translate: subtract r_min from every release and deadline, so the
+//      earliest release is 0 (kills b);
+//   2. rescale: the translated values {r_j - r_min, d_j - r_min, p_j} are
+//      non-negative rationals on a common ray {lambda * v : lambda > 0};
+//      multiply by the LCM of their denominators, then divide by the GCD of
+//      the resulting integers. That is the unique minimal integer
+//      representative of the ray (kills a);
+//   3. sort: order the integer triples (release, deadline, processing)
+//      lexicographically (kills the permutation).
+//
+// Two instances related by an affine map plus a permutation therefore have
+// EQUAL canonical forms, and the 128-bit fingerprint hashed over the form
+// is the key of the global OPT cache (util/opt_cache.hpp): the strong
+// lower bound's recursion levels are affine copies of each other by
+// construction, so they collide on purpose.
+#pragma once
+
+#include <vector>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/util/bigint.hpp"
+#include "minmach/util/hash.hpp"
+
+namespace minmach {
+
+// One job of the normal form: non-negative integers with the instance-wide
+// GCD divided out, compared lexicographically.
+struct CanonicalJob {
+  BigInt release;
+  BigInt deadline;
+  BigInt processing;
+
+  friend bool operator==(const CanonicalJob&, const CanonicalJob&) = default;
+  friend auto operator<=>(const CanonicalJob&, const CanonicalJob&) = default;
+};
+
+struct CanonicalInstance {
+  std::vector<CanonicalJob> jobs;  // sorted lexicographically
+
+  friend bool operator==(const CanonicalInstance&,
+                         const CanonicalInstance&) = default;
+};
+
+// The normal form described above. Total on any instance (well-formedness
+// not required); the empty instance maps to the empty form.
+[[nodiscard]] CanonicalInstance canonicalize(const Instance& instance);
+
+// 128-bit structural hash of a canonical form (job count + every integer
+// triple through util::Hasher128).
+[[nodiscard]] util::Digest128 fingerprint(const CanonicalInstance& canonical);
+
+// fingerprint(canonicalize(instance)): equal across affine transforms and
+// job permutations, (in practice) distinct otherwise.
+[[nodiscard]] util::Digest128 canonical_fingerprint(const Instance& instance);
+
+}  // namespace minmach

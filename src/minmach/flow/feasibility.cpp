@@ -8,10 +8,12 @@
 #include <type_traits>
 #include <utility>
 
+#include "minmach/core/canonical.hpp"
 #include "minmach/core/load_sweep.hpp"
 #include "minmach/flow/dinic.hpp"
 #include "minmach/obs/metrics.hpp"
 #include "minmach/obs/trace.hpp"
+#include "minmach/util/opt_cache.hpp"
 
 namespace minmach {
 
@@ -433,6 +435,13 @@ struct FeasibilityOracle::Impl {
   std::int64_t min_feasible = 0;
   std::int64_t max_infeasible = 0;
 
+  // Affine-canonical fingerprint for the global OPT cache; computed at
+  // construction only when the cache is enabled (has_fp gates every cache
+  // touch, so a disabled cache costs nothing).
+  bool has_fp = false;
+  util::Digest128 fp;
+  std::uint64_t probes_executed = 0;
+
   // Probe network (exactly one is built, per integer_mode).
   OracleNet<__int128> inet;
   OracleNet<Rat> rnet;
@@ -461,6 +470,9 @@ struct FeasibilityOracle::Impl {
     lb_cache.reset();
     min_feasible = 0;
     max_infeasible = 0;
+    has_fp = false;
+    fp = util::Digest128{};
+    probes_executed = 0;
     inet.reset_net();
     rnet.reset_net();
     published = DinicStats{};
@@ -513,6 +525,14 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
   // Each job alone on a machine is feasible (p_j <= d_j - r_j), so n
   // machines always suffice.
   im.min_feasible = im.job_count;
+
+  if (util::OptCache::global().enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    obs::ScopedTimer timer(reg.timing("cache.fingerprint_ns"));
+    im.fp = canonical_fingerprint(instance);
+    im.has_fp = true;
+    reg.counter("cache.fingerprints").add();
+  }
 
   std::vector<Rat> points = instance.event_points();
   const Rat span = points.back() - points.front();
@@ -594,6 +614,7 @@ void FeasibilityOracle::Impl::publish_flow_stats() {
 bool FeasibilityOracle::Impl::probe(std::int64_t machines) {
   obs::Registry& registry = obs::Registry::global();
   registry.counter("oracle.probes").add();
+  ++probes_executed;
   bool result;
   bool warm = false;
   {
@@ -643,16 +664,32 @@ bool FeasibilityOracle::feasible(std::int64_t machines) {
     obs::Registry::global().counter("oracle.memo_hits").add();
     return machines >= im.min_feasible;
   }
-  if (im.probe(machines)) {
-    im.min_feasible = machines;
-    return true;
+  if (im.has_fp) {
+    if (std::optional<bool> hit =
+            util::OptCache::global().lookup_feasible(im.fp, machines)) {
+      if (*hit)
+        im.min_feasible = std::min(im.min_feasible, machines);
+      else
+        im.max_infeasible = std::max(im.max_infeasible, machines);
+      return *hit;
+    }
   }
-  im.max_infeasible = machines;
-  return false;
+  const bool verdict = im.probe(machines);
+  if (verdict)
+    im.min_feasible = machines;
+  else
+    im.max_infeasible = machines;
+  if (im.has_fp)
+    util::OptCache::global().insert_feasible(im.fp, machines, verdict);
+  return verdict;
 }
 
 std::int64_t FeasibilityOracle::load_lower_bound() const {
   return impl_->lower_bound();
+}
+
+std::uint64_t FeasibilityOracle::probes_executed() const {
+  return impl_->probes_executed;
 }
 
 std::int64_t FeasibilityOracle::optimal_machines() {
@@ -660,6 +697,16 @@ std::int64_t FeasibilityOracle::optimal_machines() {
   if (im.empty) return 0;
   if (!im.well_formed)
     throw std::invalid_argument("FeasibilityOracle: malformed instance");
+  if (im.has_fp) {
+    if (std::optional<std::int64_t> hit =
+            util::OptCache::global().lookup_opt(im.fp)) {
+      im.min_feasible = std::min(im.min_feasible, *hit);
+      im.max_infeasible = std::max(im.max_infeasible, *hit - 1);
+      if (obs::trace_enabled())
+        obs::trace_event("oracle", "verdict", {{"opt", *hit}, {"cached", true}});
+      return *hit;
+    }
+  }
   obs::Registry& registry = obs::Registry::global();
   const std::int64_t lb = im.lower_bound();
 
@@ -694,6 +741,7 @@ std::int64_t FeasibilityOracle::optimal_machines() {
         im.max_infeasible + (im.min_feasible - im.max_infeasible) / 2;
     (void)feasible(mid);
   }
+  if (im.has_fp) util::OptCache::global().insert_opt(im.fp, im.min_feasible);
   if (obs::trace_enabled()) {
     obs::trace_event("oracle", "verdict", {{"opt", im.min_feasible}});
   }

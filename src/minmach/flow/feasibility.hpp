@@ -57,6 +57,13 @@ struct OracleOptions {
 // flow, and the search opens at the sweep load lower bound -- so OPT
 // typically costs one network build plus roughly one max-flow in total.
 // Verdicts are memoized and feasible(m) is monotone in m.
+//
+// When the global OPT cache is enabled (util::OptCache::global(), see
+// DESIGN.md §11), the constructor fingerprints the instance's affine
+// canonical form and feasible()/optimal_machines() consult the cache before
+// probing, publishing fresh verdicts back. Verdicts are exact properties of
+// the instance (identical under every OracleOptions combination), so
+// results are byte-identical with the cache on or off.
 class FeasibilityOracle {
  public:
   explicit FeasibilityOracle(const Instance& instance,
@@ -83,6 +90,11 @@ class FeasibilityOracle {
   // subsamples left endpoints (a budgeted, still-certified bound), so this
   // can be slightly below load_bound_single_interval().
   [[nodiscard]] std::int64_t load_lower_bound() const;
+
+  // Network probes this oracle actually executed (memo hits and OPT-cache
+  // hits excluded). Exposed for the query engine's speculation-overhead
+  // accounting and the cache A/B bench.
+  [[nodiscard]] std::uint64_t probes_executed() const;
 
  private:
   struct Impl;

@@ -96,20 +96,33 @@ Histogram& Registry::timing(const std::string& name) {
   return *slot;
 }
 
+bool is_exec_metric(std::string_view name) {
+  static constexpr std::string_view kPrefixes[] = {
+      "oracle.", "flow.", "cache.", "speculate.", "bigint.", "rat.", "mem."};
+  for (std::string_view prefix : kPrefixes) {
+    if (name.substr(0, prefix.size()) == prefix) return true;
+  }
+  return false;
+}
+
 Snapshot Registry::snapshot() {
   drain_hot_tallies();
   Snapshot out;
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, counter] : counters_) {
-    out.counters[name] = counter->value();
+    (is_exec_metric(name) ? out.exec_counters : out.counters)[name] =
+        counter->value();
   }
   for (const auto& [name, gauge] : gauges_) {
     out.gauges[name] = gauge->value();
     out.gauge_maxes[name] = gauge->max_value();
   }
   for (const auto& [name, histogram] : histograms_) {
-    (histogram->is_timing() ? out.timings : out.histograms)[name] =
-        histogram->data();
+    auto& sink = histogram->is_timing()
+                     ? out.timings
+                     : (is_exec_metric(name) ? out.exec_histograms
+                                             : out.histograms);
+    sink[name] = histogram->data();
   }
   return out;
 }
@@ -170,9 +183,18 @@ Snapshot Snapshot::diff(const Snapshot& baseline) const {
     auto it = baseline.counters.find(name);
     if (it != baseline.counters.end()) value -= it->second;
   }
+  for (auto& [name, value] : out.exec_counters) {
+    auto it = baseline.exec_counters.find(name);
+    if (it != baseline.exec_counters.end()) value -= it->second;
+  }
   for (auto& [name, data] : out.histograms) {
     auto it = baseline.histograms.find(name);
     if (it != baseline.histograms.end()) data = diff_histogram(data, it->second);
+  }
+  for (auto& [name, data] : out.exec_histograms) {
+    auto it = baseline.exec_histograms.find(name);
+    if (it != baseline.exec_histograms.end())
+      data = diff_histogram(data, it->second);
   }
   for (auto& [name, data] : out.timings) {
     auto it = baseline.timings.find(name);
@@ -181,7 +203,7 @@ Snapshot Snapshot::diff(const Snapshot& baseline) const {
   return out;
 }
 
-std::string Snapshot::to_json(bool include_timings) const {
+std::string Snapshot::to_json(bool include_timings, bool include_exec) const {
   std::ostringstream os;
   JsonWriter writer(os);
   writer.begin_object();
@@ -199,6 +221,14 @@ std::string Snapshot::to_json(bool include_timings) const {
   writer.end_object();
   writer.key("histograms");
   write_histograms(writer, histograms);
+  if (include_exec) {
+    writer.key("exec_counters").begin_object();
+    for (const auto& [name, value] : exec_counters)
+      writer.key(name).value(value);
+    writer.end_object();
+    writer.key("exec_histograms");
+    write_histograms(writer, exec_histograms);
+  }
   if (include_timings) {
     writer.key("timings");
     write_histograms(writer, timings);

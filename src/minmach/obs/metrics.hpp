@@ -24,6 +24,17 @@
 // Snapshots separate wall-clock timing histograms (ScopedTimer) from the
 // deterministic metrics: `Snapshot::to_json()` omits timings unless asked,
 // so run reports stay byte-identical across runs and thread counts.
+//
+// Snapshots also separate EXECUTION-CLASS metrics (see is_exec_metric):
+// counters that describe how the work was executed -- oracle probes, flow
+// passes, cache hits, speculation rounds, arithmetic/memory tallies --
+// rather than what was computed. With the global OPT cache (DESIGN.md §11)
+// a hit skips a probe and all the arithmetic inside it, so these totals
+// legitimately depend on cache state and probe interleaving; they live in
+// `Snapshot::exec_counters` / `exec_histograms` and are excluded from
+// to_json() by default, keeping run reports byte-identical with the cache
+// on or off. Semantic metrics (adversary.*, sim.*, ...) remain in the
+// deterministic sections and are still thread-count-invariant.
 #pragma once
 
 #include <atomic>
@@ -33,6 +44,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #ifndef MINMACH_OBS_ENABLED
 #define MINMACH_OBS_ENABLED 1
@@ -195,20 +207,36 @@ class ScopedTimer {
 
 // ---- snapshots ---------------------------------------------------------
 
+// True for metrics describing HOW work was executed (probe counts, flow
+// passes, cache traffic, speculation rounds, arithmetic and memory
+// tallies): name prefixes oracle. / flow. / cache. / speculate. / bigint. /
+// rat. / mem.. Snapshots segregate these (see file comment) because the
+// OPT cache makes them dependent on cache state and interleaving.
+// Classification is by name, not by a flag at registration, so a counter
+// read via Registry::counter("mem.x") in a bench lands in the same class
+// as one drained from hot tallies.
+[[nodiscard]] bool is_exec_metric(std::string_view name);
+
 struct Snapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;      // current value
   std::map<std::string, std::int64_t> gauge_maxes; // high-water marks
   std::map<std::string, HistogramData> histograms; // deterministic
   std::map<std::string, HistogramData> timings;    // wall clock, excluded by default
+  // Execution-class metrics (is_exec_metric): exact but cache/interleaving
+  // dependent, excluded from to_json() by default.
+  std::map<std::string, std::uint64_t> exec_counters;
+  std::map<std::string, HistogramData> exec_histograms;
 
   // Metric deltas since `baseline`: counters/histograms subtract, gauges
   // keep this snapshot's values. Missing-in-baseline entries pass through.
   [[nodiscard]] Snapshot diff(const Snapshot& baseline) const;
 
   // Deterministic serialization (std::map key order, integer values);
-  // timings only when include_timings. Indented with 2 spaces at `depth`.
-  [[nodiscard]] std::string to_json(bool include_timings = false) const;
+  // timings only when include_timings, execution-class sections only when
+  // include_exec.
+  [[nodiscard]] std::string to_json(bool include_timings = false,
+                                    bool include_exec = false) const;
 
   friend bool operator==(const Snapshot&, const Snapshot&) = default;
 };

@@ -1,0 +1,47 @@
+#include "minmach/util/hash.hpp"
+
+#include <cstddef>
+
+#include "minmach/util/bigint.hpp"
+#include "minmach/util/rational.hpp"
+
+namespace minmach {
+
+void hash_append(util::Hasher128& hasher, const BigInt& value) {
+  // Encode the value as (sign, limb count, magnitude limbs little-endian).
+  // mag_view unifies the two storage tiers; trailing zero limbs are
+  // stripped and the sign is re-derived from the stripped magnitude, so the
+  // non-canonical stores debug_force_promote() can create (a lone zero
+  // limb, possibly flagged negative) hash exactly like canonical zero.
+  BigInt::Limb scratch = 0;
+  BigInt::MagView view = value.mag_view(scratch);
+  std::size_t size = view.size;
+  while (size > 0 && view.data[size - 1] == 0) --size;
+  const std::int64_t sign = size == 0 ? 0 : (value.is_negative() ? -1 : 1);
+  hasher.absorb(static_cast<std::uint64_t>(sign));
+  hasher.absorb(size);
+  for (std::size_t i = 0; i < size; ++i) hasher.absorb(view.data[i]);
+}
+
+void hash_append(util::Hasher128& hasher, const Rat& value) {
+  // Canonical by Rat's invariant: den > 0 and gcd(num, den) = 1, so equal
+  // rationals have identical components regardless of how they were built.
+  hash_append(hasher, value.num());
+  hash_append(hasher, value.den());
+}
+
+std::uint64_t hash_value(const BigInt& value) {
+  util::Hasher128 hasher;
+  hash_append(hasher, value);
+  util::Digest128 digest = hasher.digest();
+  return digest.hi ^ (digest.lo * 0x9e3779b97f4a7c15ULL);
+}
+
+std::uint64_t hash_value(const Rat& value) {
+  util::Hasher128 hasher;
+  hash_append(hasher, value);
+  util::Digest128 digest = hasher.digest();
+  return digest.hi ^ (digest.lo * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace minmach

@@ -1,0 +1,83 @@
+// Deterministic 128-bit structural hashing for the exact types.
+//
+// `Hasher128` is a streaming two-lane mixer over 64-bit words (splitmix64
+// finalizers, length-stamped digest). It is NOT cryptographic; the target
+// quality is "128-bit fingerprints of canonical instances do not collide in
+// practice", which the affine-canonical OPT cache (DESIGN.md §11) relies on
+// to treat digest equality as instance equality.
+//
+// Representation invariance: `hash_append` for BigInt hashes the VALUE --
+// sign, limb count, magnitude limbs -- never the storage tier, so a
+// small-tier int64, an SBO inline limb buffer, and a heap-spilled store
+// holding the same integer produce identical digests (including the
+// non-canonical representations `debug_force_promote()` creates: trailing
+// zero limbs are stripped and a zero magnitude hashes as +0). Rat hashes
+// numerator then denominator, which is canonical because Rat's invariant
+// keeps den > 0 and gcd(num, den) = 1.
+#pragma once
+
+#include <cstdint>
+
+namespace minmach {
+class BigInt;
+class Rat;
+}  // namespace minmach
+
+namespace minmach::util {
+
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest128&, const Digest128&) = default;
+  friend bool operator<(const Digest128& a, const Digest128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+// splitmix64 finalizer: a full-avalanche bijection on 64-bit words.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+class Hasher128 {
+ public:
+  void absorb(std::uint64_t word) {
+    lo_ = mix64(lo_ ^ (word * 0x9e3779b97f4a7c15ULL));
+    hi_ = mix64(hi_ + word) ^ (lo_ >> 1);
+    ++words_;
+  }
+
+  // Word-count stamping keeps absorb(0) distinct from absorbing nothing,
+  // so variable-length encodings (limb runs, job lists) stay prefix-free.
+  [[nodiscard]] Digest128 digest() const {
+    return {mix64(hi_ ^ (words_ * 0x9e3779b97f4a7c15ULL)),
+            mix64(lo_ + words_)};
+  }
+
+ private:
+  std::uint64_t hi_ = 0x6a09e667f3bcc908ULL;  // sqrt(2), sqrt(3) fractions
+  std::uint64_t lo_ = 0xbb67ae8584caa73bULL;
+  std::uint64_t words_ = 0;
+};
+
+}  // namespace minmach::util
+
+namespace minmach {
+
+// Value hashing (representation-independent; see header comment). The
+// BigInt overload is a friend defined in hash.cpp so it can walk the limb
+// store without copying.
+void hash_append(util::Hasher128& hasher, const BigInt& value);
+void hash_append(util::Hasher128& hasher, const Rat& value);
+
+// Convenience single-value 64-bit hashes (digest lanes folded).
+[[nodiscard]] std::uint64_t hash_value(const BigInt& value);
+[[nodiscard]] std::uint64_t hash_value(const Rat& value);
+
+}  // namespace minmach

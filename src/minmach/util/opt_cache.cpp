@@ -1,0 +1,129 @@
+#include "minmach/util/opt_cache.hpp"
+
+#include <algorithm>
+
+#include "minmach/obs/metrics.hpp"
+
+namespace minmach::util {
+
+namespace {
+
+// Slot hash over (fingerprint, machine key): the fingerprint is already
+// uniform, but mixing the machine key through mix64 keeps the verdict
+// entries for one instance from landing in the same set.
+std::uint64_t slot_hash(const Digest128& fp, std::int64_t machines) {
+  return mix64(fp.lo ^ mix64(fp.hi + static_cast<std::uint64_t>(machines)));
+}
+
+}  // namespace
+
+OptCache& OptCache::global() {
+  static OptCache instance;
+  return instance;
+}
+
+void OptCache::configure(bool enabled, std::size_t capacity) {
+  capacity = std::max(capacity, kShards * kWays);
+  sets_ = std::max<std::size_t>(1, capacity / (kShards * kWays));
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.assign(sets_ * kWays, Entry{});
+    shard.victim = 0;
+  }
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void OptCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (Entry& entry : shard.entries) entry.used = false;
+  }
+}
+
+std::size_t OptCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Entry& entry : shard.entries) total += entry.used ? 1 : 0;
+  }
+  return total;
+}
+
+std::size_t OptCache::capacity() const { return sets_ * kWays * kShards; }
+
+std::optional<std::int64_t> OptCache::lookup(const Digest128& fp,
+                                             std::int64_t machines) {
+  if (sets_ == 0) return std::nullopt;
+  const std::uint64_t hash = slot_hash(fp, machines);
+  Shard& shard = shards_[hash >> 60];
+  const std::size_t set = (hash & 0x0fffffffffffffffULL) % sets_;
+  std::optional<std::int64_t> out;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Entry* base = shard.entries.data() + set * kWays;
+    for (std::size_t way = 0; way < kWays; ++way) {
+      const Entry& entry = base[way];
+      if (entry.used && entry.machines == machines && entry.fp == fp) {
+        out = entry.value;
+        break;
+      }
+    }
+  }
+  obs::Registry::global().counter(out ? "cache.hits" : "cache.misses").add();
+  return out;
+}
+
+void OptCache::insert(const Digest128& fp, std::int64_t machines,
+                      std::int64_t value) {
+  if (sets_ == 0) return;
+  const std::uint64_t hash = slot_hash(fp, machines);
+  Shard& shard = shards_[hash >> 60];
+  const std::size_t set = (hash & 0x0fffffffffffffffULL) % sets_;
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Entry* base = shard.entries.data() + set * kWays;
+    Entry* slot = nullptr;
+    for (std::size_t way = 0; way < kWays; ++way) {
+      Entry& entry = base[way];
+      if (entry.used && entry.machines == machines && entry.fp == fp)
+        return;  // already present (verdicts are exact, value identical)
+      if (!entry.used && slot == nullptr) slot = &entry;
+    }
+    if (slot == nullptr) {
+      // Set full: overwrite round-robin. The cursor is shard-wide, which
+      // is imprecise per set but O(1) and free of per-entry clocks.
+      slot = base + (shard.victim++ % kWays);
+      evicted = true;
+    }
+    slot->fp = fp;
+    slot->machines = machines;
+    slot->value = value;
+    slot->used = true;
+  }
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("cache.inserts").add();
+  if (evicted) registry.counter("cache.evictions").add();
+}
+
+std::optional<bool> OptCache::lookup_feasible(const Digest128& fp,
+                                              std::int64_t machines) {
+  std::optional<std::int64_t> raw = lookup(fp, machines);
+  if (!raw) return std::nullopt;
+  return *raw != 0;
+}
+
+void OptCache::insert_feasible(const Digest128& fp, std::int64_t machines,
+                               bool feasible) {
+  insert(fp, machines, feasible ? 1 : 0);
+}
+
+std::optional<std::int64_t> OptCache::lookup_opt(const Digest128& fp) {
+  return lookup(fp, kOptQuery);
+}
+
+void OptCache::insert_opt(const Digest128& fp, std::int64_t machines) {
+  insert(fp, kOptQuery, machines);
+}
+
+}  // namespace minmach::util

@@ -181,10 +181,11 @@ TEST(Arena, SpillAndArenaTalliesFeedTheRegistry) {
   // scratch (div_mod_mag's normalized dividend/divisor/quotient).
   EXPECT_FALSE(BigInt::gcd(v, v + BigInt(1)).is_zero());
   obs::Snapshot snap = r.snapshot();
-  EXPECT_GT(snap.counters.at("mem.arena_bytes"), 0u);
-  EXPECT_GT(snap.counters.at("mem.bigint_spill"), 0u);
-  EXPECT_GE(snap.counters.at("mem.heap_allocs"),
-            snap.counters.at("mem.bigint_spill"));
+  // mem.* is execution-class, so the tallies land in the exec maps.
+  EXPECT_GT(snap.exec_counters.at("mem.arena_bytes"), 0u);
+  EXPECT_GT(snap.exec_counters.at("mem.bigint_spill"), 0u);
+  EXPECT_GE(snap.exec_counters.at("mem.heap_allocs"),
+            snap.exec_counters.at("mem.bigint_spill"));
   r.reset();
 }
 #endif

@@ -1,0 +1,148 @@
+// Representation invariance of the exact-value hashes (util/hash.hpp): a
+// BigInt must hash by VALUE -- identical digests across the int64 fast
+// tier, the SBO inline limb buffer, and heap-spilled stores, including the
+// non-canonical stores debug_force_promote() creates -- and Rat must hash
+// its normalized num/den pair. The affine-canonical OPT cache treats digest
+// equality as instance equality, so these are correctness properties, not
+// quality-of-hash niceties.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "minmach/util/bigint.hpp"
+#include "minmach/util/hash.hpp"
+#include "minmach/util/rational.hpp"
+
+namespace minmach {
+namespace {
+
+util::Digest128 digest_of(const BigInt& value) {
+  util::Hasher128 hasher;
+  hash_append(hasher, value);
+  return hasher.digest();
+}
+
+util::Digest128 digest_of(const Rat& value) {
+  util::Hasher128 hasher;
+  hash_append(hasher, value);
+  return hasher.digest();
+}
+
+TEST(HashBigInt, InlineAndPromotedStoresAgree) {
+  const std::int64_t cases[] = {0,
+                                1,
+                                -1,
+                                42,
+                                -42,
+                                1234567890123456789LL,
+                                std::numeric_limits<std::int64_t>::max(),
+                                std::numeric_limits<std::int64_t>::min()};
+  for (std::int64_t raw : cases) {
+    BigInt small(raw);
+    BigInt promoted(raw);
+    promoted.debug_force_promote();
+    ASSERT_EQ(small, promoted);
+    EXPECT_EQ(digest_of(small), digest_of(promoted)) << raw;
+    EXPECT_EQ(hash_value(small), hash_value(promoted)) << raw;
+  }
+}
+
+TEST(HashBigInt, NonCanonicalZeroLimbStoreHashesAsZero) {
+  // debug_force_promote() on zero materializes a lone zero limb -- a store
+  // no arithmetic path produces. It must hash exactly like the canonical
+  // small-tier zero (sign re-derived from the stripped magnitude, not from
+  // the store's flag).
+  BigInt canonical(0);
+  BigInt promoted(0);
+  promoted.debug_force_promote();
+  EXPECT_EQ(digest_of(canonical), digest_of(promoted));
+
+  // A promoted store reaching zero through arithmetic must agree too.
+  BigInt walked(-7);
+  walked.debug_force_promote();
+  walked = walked + BigInt(7);
+  ASSERT_EQ(walked, canonical);
+  EXPECT_EQ(digest_of(canonical), digest_of(walked));
+}
+
+TEST(HashBigInt, HeapBackedValuesHashByValue) {
+  // 10^100 needs ~333 bits: well past the 4-limb SBO buffer, so this
+  // exercises the heap store. Build the same value along two different
+  // computation paths.
+  std::string text = "1";
+  text.append(100, '0');
+  const BigInt parsed = BigInt::from_string(text);
+  BigInt computed(1);
+  for (int i = 0; i < 100; ++i) computed = computed * BigInt(10);
+  ASSERT_EQ(parsed, computed);
+  EXPECT_EQ(digest_of(parsed), digest_of(computed));
+  EXPECT_EQ(hash_value(parsed), hash_value(computed));
+
+  const BigInt negated = BigInt(0) - parsed;
+  EXPECT_NE(digest_of(parsed), digest_of(negated));
+}
+
+TEST(HashBigInt, DistinctValuesGetDistinctDigests) {
+  std::set<util::Digest128> digests;
+  std::size_t values = 0;
+  for (std::int64_t v = -500; v <= 500; ++v) {
+    digests.insert(digest_of(BigInt(v)));
+    ++values;
+  }
+  // A few multi-limb values on top of the small range.
+  BigInt big(1);
+  for (int i = 0; i < 12; ++i) {
+    big = big * BigInt(1000000007LL);
+    digests.insert(digest_of(big));
+    digests.insert(digest_of(BigInt(0) - big));
+    values += 2;
+  }
+  EXPECT_EQ(digests.size(), values);
+}
+
+TEST(HashRat, AliasedConstructionsAgree) {
+  // Rat normalizes on construction (den > 0, gcd = 1), so every spelling
+  // of the same rational must produce the same digest.
+  EXPECT_EQ(digest_of(Rat(2, 4)), digest_of(Rat(1, 2)));
+  EXPECT_EQ(digest_of(Rat(-2, 4)), digest_of(Rat(1, -2)));
+  EXPECT_EQ(digest_of(Rat(0, 5)), digest_of(Rat(0)));
+  EXPECT_EQ(digest_of(Rat(6, 3)), digest_of(Rat(2)));
+  EXPECT_EQ(hash_value(Rat(10, 15)), hash_value(Rat(2, 3)));
+  EXPECT_NE(digest_of(Rat(1, 2)), digest_of(Rat(2, 1)));
+  EXPECT_NE(digest_of(Rat(1, 2)), digest_of(Rat(-1, 2)));
+}
+
+TEST(HashRat, DistinctValuesGetDistinctDigests) {
+  std::set<Rat> values;
+  for (std::int64_t den = 1; den <= 16; ++den)
+    for (std::int64_t num = -16; num <= 16; ++num) values.insert(Rat(num, den));
+  std::set<util::Digest128> digests;
+  for (const Rat& value : values) digests.insert(digest_of(value));
+  EXPECT_EQ(digests.size(), values.size());
+}
+
+TEST(Hasher128, WordCountStampingIsPrefixFree) {
+  util::Hasher128 empty;
+  util::Hasher128 one_zero;
+  one_zero.absorb(0);
+  util::Hasher128 two_zeros;
+  two_zeros.absorb(0);
+  two_zeros.absorb(0);
+  EXPECT_NE(empty.digest(), one_zero.digest());
+  EXPECT_NE(one_zero.digest(), two_zeros.digest());
+
+  // Streaming is order-sensitive: (a, b) != (b, a).
+  util::Hasher128 ab;
+  ab.absorb(1);
+  ab.absorb(2);
+  util::Hasher128 ba;
+  ba.absorb(2);
+  ba.absorb(1);
+  EXPECT_NE(ab.digest(), ba.digest());
+}
+
+}  // namespace
+}  // namespace minmach

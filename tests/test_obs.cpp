@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -17,6 +18,8 @@
 #include "minmach/obs/report.hpp"
 #include "minmach/obs/trace.hpp"
 #include "minmach/util/bigint.hpp"
+#include "minmach/util/hash.hpp"
+#include "minmach/util/opt_cache.hpp"
 #include "minmach/util/rational.hpp"
 
 namespace minmach::obs {
@@ -197,6 +200,92 @@ TEST(Metrics, ParallelMergeIsThreadCountInvariant) {
   Registry::global().reset();
 }
 
+// Execution-class metrics (oracle.*, flow.*, cache.*, speculate.*,
+// bigint.*, rat.*, mem.*) measure HOW an answer was computed -- a warm
+// cache skips probes and all the arithmetic inside them -- so snapshots
+// segregate them from the semantic counters and to_json() omits them by
+// default (that is what keeps --report bytes identical with the cache on
+// or off).
+TEST(Metrics, ExecClassMetricsAreSegregatedFromSemanticOnes) {
+  EXPECT_TRUE(is_exec_metric("oracle.probes"));
+  EXPECT_TRUE(is_exec_metric("flow.augmentations"));
+  EXPECT_TRUE(is_exec_metric("cache.hits"));
+  EXPECT_TRUE(is_exec_metric("speculate.rounds"));
+  EXPECT_TRUE(is_exec_metric("bigint.promotions"));
+  EXPECT_TRUE(is_exec_metric("rat.fast_ops"));
+  EXPECT_TRUE(is_exec_metric("mem.heap_allocs"));
+  EXPECT_FALSE(is_exec_metric("adversary.case1"));
+  EXPECT_FALSE(is_exec_metric("sim.jobs"));
+  EXPECT_FALSE(is_exec_metric("test.semantic"));
+  EXPECT_FALSE(is_exec_metric("oracle"));  // prefix needs the dot
+
+  Registry& r = Registry::global();
+  r.reset();
+  r.counter("cache.hits").add(3);
+  r.counter("test.semantic").add(5);
+  r.histogram("speculate.depth").observe(2);
+  r.histogram("test.hist").observe(1);
+  Snapshot snap = r.snapshot();
+  EXPECT_EQ(snap.exec_counters.at("cache.hits"), 3u);
+  EXPECT_EQ(snap.counters.at("test.semantic"), 5u);
+  EXPECT_EQ(snap.counters.count("cache.hits"), 0u);
+  EXPECT_EQ(snap.exec_histograms.at("speculate.depth").count, 1u);
+  EXPECT_EQ(snap.histograms.count("speculate.depth"), 0u);
+
+  const std::string semantic_json = snap.to_json();
+  EXPECT_EQ(semantic_json.find("cache.hits"), std::string::npos);
+  EXPECT_EQ(semantic_json.find("speculate.depth"), std::string::npos);
+  EXPECT_NE(semantic_json.find("test.semantic"), std::string::npos);
+  const std::string full_json =
+      snap.to_json(/*include_timings=*/false, /*include_exec=*/true);
+  EXPECT_NE(full_json.find("cache.hits"), std::string::npos);
+  EXPECT_NE(full_json.find("speculate.depth"), std::string::npos);
+  r.reset();
+}
+
+// cache.* / speculate.* tallies merge deterministically across thread
+// counts when the workload pins them down: a serial warm phase inserts
+// every key exactly once, then a parallel phase performs read-only all-hit
+// lookups, so hit/miss/insert totals are a pure function of the task set
+// no matter which worker runs which task.
+TEST(Metrics, CacheAndSpeculateTalliesMergeDeterministically) {
+  auto key = [](std::size_t i) {
+    return util::Digest128{util::mix64(i * 2 + 1), util::mix64(i * 3 + 7)};
+  };
+  auto run = [&](std::size_t threads) {
+    util::OptCache& cache = util::OptCache::global();
+    cache.configure(true, 1 << 10);
+    Registry& r = Registry::global();
+    (void)r.snapshot();  // drain residue on the calling thread
+    r.reset();
+    const std::size_t tasks = 16;
+    for (std::size_t i = 0; i < tasks; ++i)
+      cache.insert_opt(key(i), static_cast<std::int64_t>(i));
+    std::vector<std::int64_t> values =
+        bench::parallel_map(tasks, threads, [&](std::size_t i) {
+          std::optional<std::int64_t> hit = cache.lookup_opt(key(i));
+          r.counter("speculate.rounds").add(1);
+          r.counter("speculate.probes").add(i % 3);
+          return hit.value_or(-1);
+        });
+    Snapshot snap = r.snapshot();
+    cache.configure(false, 64);  // leave the global cache disabled
+    for (std::size_t i = 0; i < tasks; ++i)
+      EXPECT_EQ(values[i], static_cast<std::int64_t>(i));
+    return snap;
+  };
+  Snapshot single = run(1);
+  Snapshot parallel = run(4);
+  EXPECT_EQ(single.exec_counters.at("cache.inserts"), 16u);
+  EXPECT_EQ(single.exec_counters.at("cache.hits"), 16u);
+  EXPECT_EQ(single.exec_counters.at("speculate.rounds"), 16u);
+  EXPECT_EQ(single, parallel);  // exec maps included: fully pinned workload
+  EXPECT_EQ(single.to_json(), parallel.to_json());
+  EXPECT_EQ(single.to_json(false, /*include_exec=*/true),
+            parallel.to_json(false, /*include_exec=*/true));
+  Registry::global().reset();
+}
+
 #if MINMACH_OBS_ENABLED
 // The memory-substrate counters (mem.bigint_spill / mem.arena_bytes /
 // mem.heap_allocs) tally logical allocation *requests* -- a pure function
@@ -222,17 +311,20 @@ TEST(Metrics, MemTalliesMergeDeterministicallyAcrossThreadCounts) {
   };
   Snapshot single = run(1);
   Snapshot parallel = run(4);
-  EXPECT_EQ(single.counters.at("mem.bigint_spill"),
-            parallel.counters.at("mem.bigint_spill"));
-  EXPECT_EQ(single.counters.at("mem.arena_bytes"),
-            parallel.counters.at("mem.arena_bytes"));
-  EXPECT_EQ(single.counters.at("mem.heap_allocs"),
-            parallel.counters.at("mem.heap_allocs"));
+  // mem.* is execution-class (is_exec_metric), so the tallies live in the
+  // snapshot's exec maps -- still thread-count invariant for this workload,
+  // because logical allocation requests are a pure function of the tasks.
+  EXPECT_EQ(single.exec_counters.at("mem.bigint_spill"),
+            parallel.exec_counters.at("mem.bigint_spill"));
+  EXPECT_EQ(single.exec_counters.at("mem.arena_bytes"),
+            parallel.exec_counters.at("mem.arena_bytes"));
+  EXPECT_EQ(single.exec_counters.at("mem.heap_allocs"),
+            parallel.exec_counters.at("mem.heap_allocs"));
   EXPECT_EQ(single, parallel);
   EXPECT_EQ(single.to_json(), parallel.to_json());
   // The workload really exercised the substrate.
-  EXPECT_GT(single.counters.at("mem.bigint_spill"), 0u);
-  EXPECT_GT(single.counters.at("mem.arena_bytes"), 0u);
+  EXPECT_GT(single.exec_counters.at("mem.bigint_spill"), 0u);
+  EXPECT_GT(single.exec_counters.at("mem.arena_bytes"), 0u);
   Registry::global().reset();
 }
 
@@ -242,12 +334,13 @@ TEST(Metrics, HotTalliesDrainIntoRegistry) {
   MINMACH_OBS_TALLY(rat_fast_ops);
   MINMACH_OBS_TALLY(rat_fast_ops);
   MINMACH_OBS_TALLY(bigint_promotions);
-  // snapshot() drains the calling thread first.
+  // snapshot() drains the calling thread first. rat.* / bigint.* are
+  // execution-class names, so they surface in exec_counters.
   Snapshot snap = r.snapshot();
-  EXPECT_EQ(snap.counters.at("rat.fast_ops"), 2u);
-  EXPECT_EQ(snap.counters.at("bigint.promotions"), 1u);
+  EXPECT_EQ(snap.exec_counters.at("rat.fast_ops"), 2u);
+  EXPECT_EQ(snap.exec_counters.at("bigint.promotions"), 1u);
   // Drained: a second snapshot sees no double counting.
-  EXPECT_EQ(r.snapshot().counters.at("rat.fast_ops"), 2u);
+  EXPECT_EQ(r.snapshot().exec_counters.at("rat.fast_ops"), 2u);
 
   // Real arithmetic feeds the tallies: a small-tier Rat addition takes the
   // fast path.
@@ -255,7 +348,7 @@ TEST(Metrics, HotTalliesDrainIntoRegistry) {
   Rat x(1, 3);
   x += Rat(1, 6);
   EXPECT_EQ(x, Rat(1, 2));
-  EXPECT_GE(r.snapshot().counters.at("rat.fast_ops"), 1u);
+  EXPECT_GE(r.snapshot().exec_counters.at("rat.fast_ops"), 1u);
   r.reset();
 }
 #endif
