@@ -24,6 +24,7 @@
 #include "minmach/obs/trace.hpp"
 #include "minmach/util/cli.hpp"
 #include "minmach/util/opt_cache.hpp"
+#include "minmach/util/simd.hpp"
 #include "minmach/util/table.hpp"
 
 namespace minmach::bench {
@@ -55,15 +56,24 @@ inline constexpr std::int64_t kDefaultCacheCapacity = 1 << 16;
 // destruction -- writes the machine-readable run report: config, result
 // tables, measured-vs-bound checks, and a metrics snapshot. The report
 // excludes wall-clock timings and reproducibility-neutral flags (--threads,
-// --report, --trace, --cache, --cache-capacity), so its bytes are identical
-// at any thread count and with the OPT cache on or off (cache state only
-// moves execution-class metrics, which snapshots segregate).
+// --report, --trace, --cache, --cache-capacity, --simd), so its bytes are
+// identical at any thread count, with the OPT cache on or off, and under
+// any SIMD dispatch mode (cache/SIMD state only moves execution-class
+// metrics, which snapshots segregate).
 //
 // Also reads --cache {on,off} / --cache-capacity N and configures the
 // global affine-canonical OPT cache accordingly, so every driver can A/B
 // the query engine. Default off: the o01/m01 substrate benches measure
 // legacy-vs-fast ratios that a shared verdict cache would collapse, so
 // caching is strictly opt-in per run.
+//
+// Also reads --simd {auto,avx2,scalar} and sets the global kernel dispatch
+// mode (util::simd::set_mode, DESIGN.md §12). Default auto: use the AVX2
+// kernels whenever the binary compiled them and the CPU has them. avx2
+// insists (clear error when unavailable, so an A/B run never silently
+// measures the fallback); scalar forces the portable path for differential
+// runs. Results are bit-identical across modes -- the flag only moves wall
+// clock and execution-class metrics.
 class Run {
  public:
   Run(Cli& cli, std::string experiment, std::string paper_claim) {
@@ -89,6 +99,23 @@ class Run {
     }
     util::OptCache::global().configure(
         cache_mode == "on", static_cast<std::size_t>(cache_capacity));
+    const std::string simd_flag = cli.get_string("simd", "auto");
+    util::simd::Mode simd_mode;
+    if (!util::simd::parse_mode(simd_flag, &simd_mode)) {
+      std::cerr << "error: --simd must be 'auto', 'avx2', or 'scalar' (got '"
+                << simd_flag << "')\n";
+      std::exit(2);
+    }
+    if (simd_mode == util::simd::Mode::kAvx2 && !util::simd::supported()) {
+      std::cerr << "error: --simd avx2 requested but AVX2 kernels are "
+                   "unavailable ("
+                << (util::simd::compiled_avx2()
+                        ? "CPU lacks AVX2"
+                        : "binary built without them, MINMACH_SIMD=scalar")
+                << "); use 'auto' or 'scalar'\n";
+      std::exit(2);
+    }
+    util::simd::set_mode(simd_mode);
     obs::Registry::global().reset();
     print_header(experiment, paper_claim);
     report_.experiment = std::move(experiment);

@@ -1,8 +1,12 @@
 #include "minmach/core/contribution.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "minmach/core/load_sweep.hpp"
+#include "minmach/core/load_sweep_simd.hpp"
+#include "minmach/util/simd.hpp"
 
 namespace minmach {
 
@@ -43,9 +47,32 @@ LoadBound load_bound_single_interval(const Instance& instance) {
     deadline[j] = job.deadline;
     processing[j] = job.processing;
   }
-  SweepWitness sweep = sweep_load_bound(
-      release, deadline, processing, points,
-      [](const Rat& c, const Rat& len) { return (c / len).ceil().to_int64(); });
+  SweepWitness sweep;
+  std::vector<std::int64_t> ints(3 * n + points.size());
+  // SIMD dispatch (DESIGN.md §12): an all-small-integer instance runs the
+  // exact (stride-1) sweep on the int64 kernel; witness indices and the
+  // machine count are bit-identical to the rational sweep below.
+  const bool small =
+      util::simd::active() &&
+      rat_batch::to_i64(release.data(), n, ints.data(), INT64_MAX) &&
+      rat_batch::to_i64(deadline.data(), n, ints.data() + n, INT64_MAX) &&
+      rat_batch::to_i64(processing.data(), n, ints.data() + 2 * n,
+                        INT64_MAX) &&
+      rat_batch::to_i64(points.data(), points.size(), ints.data() + 3 * n,
+                        INT64_MAX);
+  if (small) {
+    auto slice = [&](std::size_t lo, std::size_t count) {
+      return std::vector<std::int64_t>(ints.begin() + lo,
+                                       ints.begin() + lo + count);
+    };
+    sweep = sweep_load_bound_i64(slice(0, n), slice(n, n), slice(2 * n, n),
+                                 slice(3 * n, points.size()),
+                                 /*left_stride=*/1, /*use_avx2=*/true);
+  } else {
+    sweep = sweep_load_bound(
+        release, deadline, processing, points,
+        [](const Rat& c, const Rat& len) { return (c / len).ceil().to_int64(); });
+  }
   LoadBound best;
   best.machines = sweep.machines;
   if (sweep.machines > 0)

@@ -1,0 +1,166 @@
+// AVX2 policy for the int64 sweep kernel. Compiled with -mavx2 (see
+// src/CMakeLists.txt); excluded under MINMACH_SIMD=scalar. Reached only
+// via sweep_load_bound_i64 with use_avx2 = true, whose callers check
+// util::simd::supported() first.
+#include "minmach/core/load_sweep_kernel.hpp"
+
+#if MINMACH_SIMD_COMPILE_AVX2
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace minmach::detail {
+
+namespace {
+
+// Dword-pair permutation per 4-bit lane mask: lane k of a 64-bit compress
+// maps to dwords 2k, 2k+1. Unused tail entries are zero; the store writes
+// all 4 lanes but the driver only advances by popcount(mask), and every
+// compress buffer carries 4 lanes of slack (SweepSoA::prepare).
+alignas(32) constexpr std::int32_t kCompress[16][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0}, {0, 1, 0, 0, 0, 0, 0, 0},
+    {2, 3, 0, 0, 0, 0, 0, 0}, {0, 1, 2, 3, 0, 0, 0, 0},
+    {4, 5, 0, 0, 0, 0, 0, 0}, {0, 1, 4, 5, 0, 0, 0, 0},
+    {2, 3, 4, 5, 0, 0, 0, 0}, {0, 1, 2, 3, 4, 5, 0, 0},
+    {6, 7, 0, 0, 0, 0, 0, 0}, {0, 1, 6, 7, 0, 0, 0, 0},
+    {2, 3, 6, 7, 0, 0, 0, 0}, {0, 1, 2, 3, 6, 7, 0, 0},
+    {4, 5, 6, 7, 0, 0, 0, 0}, {0, 1, 4, 5, 6, 7, 0, 0},
+    {2, 3, 4, 5, 6, 7, 0, 0}, {0, 1, 2, 3, 4, 5, 6, 7}};
+
+inline __m256i load(const std::int64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void compress_store(std::int64_t* out, __m256i v, int mask) {
+  const __m256i idx =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(kCompress[mask]));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm256_permutevar8x32_epi32(v, idx));
+}
+
+inline int lane_mask(__m256i cmp) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(cmp));
+}
+
+struct SweepAvx2Ops {
+  std::uint64_t lanes = 0;
+
+  std::size_t compress_released(const std::int64_t* lax,
+                                const std::int64_t* rel,
+                                const std::int64_t* dl, std::size_t n,
+                                std::int64_t a, std::int64_t* out) {
+    const __m256i va = _mm256_set1_epi64x(a);
+    std::size_t kept = 0, i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256i vlax = load(lax + i);
+      const __m256i vrel = load(rel + i);
+      const __m256i vdl = load(dl + i);
+      const __m256i cross = _mm256_add_epi64(va, vlax);
+      // keep: rel <= a  &&  a < dl  &&  cross < dl
+      __m256i keep = _mm256_andnot_si256(_mm256_cmpgt_epi64(vrel, va),
+                                         _mm256_cmpgt_epi64(vdl, va));
+      keep = _mm256_and_si256(keep, _mm256_cmpgt_epi64(vdl, cross));
+      const int mask = lane_mask(keep);
+      compress_store(out + kept, cross, mask);
+      kept += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(mask)));
+    }
+    lanes += i;
+    for (; i < n; ++i) {
+      const std::int64_t cross = a + lax[i];
+      if (rel[i] <= a && a < dl[i] && cross < dl[i]) out[kept++] = cross;
+    }
+    return kept;
+  }
+
+  std::size_t compress_future(const std::int64_t* onset,
+                              const std::int64_t* rel, std::size_t n,
+                              std::int64_t a, std::int64_t* out) {
+    const __m256i va = _mm256_set1_epi64x(a);
+    std::size_t kept = 0, i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const int mask = lane_mask(_mm256_cmpgt_epi64(load(rel + i), va));
+      compress_store(out + kept, load(onset + i), mask);
+      kept += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(mask)));
+    }
+    lanes += i;
+    for (; i < n; ++i)
+      if (rel[i] > a) out[kept++] = onset[i];
+    return kept;
+  }
+
+  std::size_t compress_freeze(const std::int64_t* dl, const std::int64_t* rel,
+                              const std::int64_t* lax, std::size_t n,
+                              std::int64_t a, std::int64_t* out_dl,
+                              std::int64_t* out_cross) {
+    const __m256i va = _mm256_set1_epi64x(a);
+    std::size_t kept = 0, i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256i vdl = load(dl + i);
+      const __m256i vrel = load(rel + i);
+      // cross = max(a, rel) + lax
+      const __m256i vmax =
+          _mm256_blendv_epi8(vrel, va, _mm256_cmpgt_epi64(va, vrel));
+      const __m256i cross = _mm256_add_epi64(vmax, load(lax + i));
+      const __m256i keep = _mm256_and_si256(_mm256_cmpgt_epi64(vdl, va),
+                                            _mm256_cmpgt_epi64(vdl, cross));
+      const int mask = lane_mask(keep);
+      compress_store(out_dl + kept, vdl, mask);
+      compress_store(out_cross + kept, cross, mask);
+      kept += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(mask)));
+    }
+    lanes += i;
+    for (; i < n; ++i) {
+      if (!(a < dl[i])) continue;
+      const std::int64_t cross = (rel[i] < a ? a : rel[i]) + lax[i];
+      if (!(cross < dl[i])) continue;
+      out_dl[kept] = dl[i];
+      out_cross[kept] = cross;
+      ++kept;
+    }
+    return kept;
+  }
+
+  ScanHit scan(const std::int64_t* pts, std::size_t count, std::int64_t m,
+               std::int64_t rhs, std::int64_t lim) {
+    // The guard in load_sweep_simd.cpp keeps |m| and |pts[i]| inside
+    // int32, so each 64-bit lane's value lives in its low dword and
+    // _mm256_mul_epi32 forms m * b exactly.
+    const __m256i vm = _mm256_set1_epi64x(m);
+    const __m256i vrhs = _mm256_set1_epi64x(rhs);
+    const __m256i vlim = _mm256_set1_epi64x(lim);
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      const __m256i p = load(pts + i);
+      const int end_mask = lane_mask(_mm256_cmpgt_epi64(p, vlim));
+      const int imp_mask =
+          lane_mask(_mm256_cmpgt_epi64(_mm256_mul_epi32(p, vm), vrhs));
+      const unsigned both = static_cast<unsigned>(end_mask | imp_mask);
+      lanes += 4;
+      if (both != 0) {
+        const int k = std::countr_zero(both);
+        // End-of-run wins a tie: the state is stale at that b until the
+        // pending admissions/freezes are applied.
+        return {i + static_cast<std::size_t>(k),
+                ((end_mask >> k) & 1) != 0 ? ScanEvent::kEnd
+                                           : ScanEvent::kImprove};
+      }
+    }
+    for (; i < count; ++i) {
+      if (pts[i] > lim) return {i, ScanEvent::kEnd};
+      if (m * pts[i] > rhs) return {i, ScanEvent::kImprove};
+    }
+    return {0, ScanEvent::kNone};
+  }
+};
+
+}  // namespace
+
+SweepWitness sweep_kernel_i64_avx2(SweepSoA& soa, std::size_t left_stride,
+                                   std::uint64_t* lanes_out) {
+  return sweep_kernel_i64<SweepAvx2Ops>(soa, left_stride, lanes_out);
+}
+
+}  // namespace minmach::detail
+
+#endif  // MINMACH_SIMD_COMPILE_AVX2

@@ -1,0 +1,135 @@
+#include "minmach/core/load_sweep_simd.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "minmach/core/load_sweep_kernel.hpp"
+#include "minmach/obs/metrics.hpp"
+#include "minmach/util/simd.hpp"
+
+namespace minmach {
+
+namespace {
+
+// Overflow guard for the int64 kernel. With n jobs, total work T = sum p_j,
+// and P = max |point|, every intermediate the kernel forms is bounded by
+//   |m| = |growing - best| <= n + T            (best <= T: each job
+//                                               contributes <= p_j and the
+//                                               integer grid makes every
+//                                               witness length >= 1)
+//   |m * b| <= (n + T) * P
+//   |rhs|  <= 3*n*P + 2*n*P + T*P
+// so n <= 2^29, T <= 2^29, P <= 2^30 keeps everything below 2^62 -- and
+// keeps m and b inside int32, which the AVX2 scan's 32x32->64 multiply
+// needs. Instances beyond the guard run the generic __int128 kernel
+// (bit-identical by construction, just slower).
+constexpr std::int64_t kMaxCount = std::int64_t{1} << 29;
+constexpr std::int64_t kMaxPoint = std::int64_t{1} << 30;
+
+bool kernel_in_range(const std::vector<std::int64_t>& release,
+                     const std::vector<std::int64_t>& deadline,
+                     const std::vector<std::int64_t>& processing,
+                     const std::vector<std::int64_t>& points, std::size_t n) {
+  if (static_cast<std::int64_t>(n) > kMaxCount) return false;
+  // points sorted, so the extremes bound every grid value; releases and
+  // deadlines are checked directly (callers usually pass the r/d event
+  // grid, but the API does not require it).
+  auto bounded = [](std::int64_t v) {
+    return -kMaxPoint <= v && v <= kMaxPoint;
+  };
+  if (!bounded(points.front()) || !bounded(points.back())) return false;
+  __int128 total = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!bounded(release[j]) || !bounded(deadline[j])) return false;
+    total += processing[j];
+  }
+  return total <= kMaxCount;
+}
+
+SweepWitness spill_to_generic(const std::vector<std::int64_t>& release,
+                              const std::vector<std::int64_t>& deadline,
+                              const std::vector<std::int64_t>& processing,
+                              const std::vector<std::int64_t>& points,
+                              std::size_t left_stride) {
+  MINMACH_OBS_TALLY(simd_scalar_spills);
+  auto widen = [](const std::vector<std::int64_t>& v) {
+    return std::vector<__int128>(v.begin(), v.end());
+  };
+  return sweep_load_bound<__int128>(
+      widen(release), widen(deadline), widen(processing), widen(points),
+      [](const __int128& c, const __int128& len) {
+        return static_cast<std::int64_t>((c + len - 1) / len);
+      },
+      left_stride);
+}
+
+thread_local detail::SweepSoA sweep_scratch;
+
+}  // namespace
+
+SweepWitness sweep_load_bound_i64(const std::vector<std::int64_t>& release,
+                                  const std::vector<std::int64_t>& deadline,
+                                  const std::vector<std::int64_t>& processing,
+                                  const std::vector<std::int64_t>& points,
+                                  std::size_t left_stride, bool use_avx2) {
+  SweepWitness best;
+  const std::size_t n = release.size();
+  if (n == 0 || points.size() < 2) return best;
+  if (left_stride == 0) left_stride = 1;
+  if (!kernel_in_range(release, deadline, processing, points, n))
+    return spill_to_generic(release, deadline, processing, points, left_stride);
+
+  detail::SweepSoA& s = sweep_scratch;
+  s.prepare(n, points.data(), points.size());
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Same three comparators as the generic kernel. Ties may land in either
+  // order there (std::sort is unstable) and here; admissions between
+  // consecutive grid points are aggregated before any state is read, so
+  // every tie order yields the same sweep state and the same witness.
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return (deadline[x] - release[x] - processing[x]) <
+           (deadline[y] - release[y] - processing[y]);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = order[i];
+    s.lax_a[i] = deadline[j] - release[j] - processing[j];
+    s.rel_a[i] = release[j];
+    s.dl_a[i] = deadline[j];
+  }
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return deadline[x] - processing[x] < deadline[y] - processing[y];
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = order[i];
+    s.onset_b[i] = deadline[j] - processing[j];
+    s.rel_b[i] = release[j];
+  }
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return deadline[x] < deadline[y];
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = order[i];
+    s.dl_d[i] = deadline[j];
+    s.rel_d[i] = release[j];
+    s.lax_d[i] = deadline[j] - release[j] - processing[j];
+  }
+
+  std::uint64_t lanes = 0;
+#if MINMACH_SIMD_COMPILE_AVX2
+  if (use_avx2) {
+    best = detail::sweep_kernel_i64_avx2(s, left_stride, &lanes);
+    MINMACH_OBS_TALLY_ADD(simd_lanes_used, lanes);
+    return best;
+  }
+#else
+  (void)use_avx2;
+#endif
+  best = detail::sweep_kernel_i64<detail::SweepScalarOps>(s, left_stride, &lanes);
+  return best;
+}
+
+}  // namespace minmach

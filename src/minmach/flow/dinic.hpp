@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "minmach/util/arena.hpp"
+#include "minmach/util/bitset.hpp"
+#include "minmach/util/simd.hpp"
 
 namespace minmach {
 
@@ -47,19 +49,29 @@ class Dinic {
     level_.resize(node_count);
     next_edge_.resize(node_count);
     stats_ = DinicStats{};
+    accel_mode_ = -1;
+    csr_valid_ = false;
   }
+
+  // Level-graph kernel selection: -1 follows the global SIMD dispatch
+  // (util::simd::active(), re-read on every pass), 0 forces the scalar
+  // queue, 1 forces the bit-parallel frontier. The feasibility oracle pins
+  // this from OracleOptions::simd so its legacy baseline stays the seed
+  // path; util::substrate_legacy() overrides everything (see build_levels).
+  void set_level_kernel(int mode) { accel_mode_ = mode; }
 
   // Returns a handle usable with flow_on() after max_flow().
   std::size_t add_edge(std::size_t from, std::size_t to, Cap capacity) {
     if (from >= node_count() || to >= node_count())
       throw std::out_of_range("Dinic: node out of range");
     std::size_t handle = edges_.size();
-    edges_.push_back({to, capacity, false});
-    edges_.push_back({from, Cap(0), true});
+    edges_.push_back({to, capacity});
+    edges_.push_back({from, Cap(0)});
     initial_.push_back(std::move(capacity));
     initial_.push_back(Cap(0));
     adjacency_[from].push_back(handle);
     adjacency_[to].push_back(handle + 1);
+    csr_valid_ = false;
     return handle;
   }
 
@@ -94,6 +106,14 @@ class Dinic {
 
   Cap max_flow(std::size_t source, std::size_t sink) {
     if (source == sink) throw std::invalid_argument("Dinic: source == sink");
+    // Accel decision hoisted per call (DESIGN.md §12): the bit-parallel
+    // level BFS plus the CSR adjacency mirror. Edge ORDER is identical
+    // either way, so the routed flow is bit-identical; only locality and
+    // BFS bookkeeping differ.
+    use_accel_ = !util::substrate_legacy() &&
+                 (accel_mode_ > 0 ||
+                  (accel_mode_ < 0 && util::simd::active()));
+    if (use_accel_) ensure_csr();
     Cap total(0);
     while (build_levels(source, sink)) {
       next_edge_.assign(node_count(), 0);
@@ -115,10 +135,12 @@ class Dinic {
   }
 
  private:
+  // Deliberately lean: with Cap = __int128 the struct packs to 32 bytes
+  // (two per cache line), and the blocking-flow DFS is bound by scanning
+  // these. The reverse twin of a handle is handle ^ 1, so no flag needed.
   struct Edge {
     std::size_t to;
     Cap capacity;  // residual
-    bool is_reverse;
   };
 
   bool build_levels(std::size_t source, std::size_t sink) {
@@ -144,6 +166,7 @@ class Dinic {
       }
       return level_[sink] != -1;
     }
+    if (use_accel_) return build_levels_bitmap(source, sink);
     // Pooled frontier: a BFS visits each node once, so the vector doubles
     // as the queue (scan head forward) and its storage survives across
     // passes and probes.
@@ -163,14 +186,97 @@ class Dinic {
     return level_[sink] != -1;
   }
 
+  // Bit-parallel level build (DESIGN.md §12): visited/frontier live in
+  // packed 64-bit words (util::BitSet), the BFS runs level-synchronous, and
+  // the pass ABORTS as soon as the sink is labeled. The abort is safe: when
+  // the sink is discovered at depth L+1, every node at depth <= L is
+  // already labeled (whole frontiers are labeled before any expansion of
+  // the next depth starts), and those are the only intermediate nodes a
+  // shortest s->t path can use. A depth-L+1 node left unlabeled is exactly
+  // a node from which the blocking-flow DFS would dead-end anyway (it
+  // cannot reach the sink inside the level graph), so the DFS finds the
+  // same augmenting paths in the same order and routes bit-identical flow;
+  // only stats_.edge_visits (execution-class) shrinks.
+  // Precondition (established by build_levels): level_ is all -1 except
+  // level_[source] == 0.
+  bool build_levels_bitmap(std::size_t source, std::size_t sink) {
+    visited_.reset(node_count());
+    frontier_.reset(node_count());
+    next_frontier_.reset(node_count());
+    visited_.set(source);
+    frontier_.set(source);
+    const std::size_t* handles = csr_handles_.data();
+    const std::size_t* off = csr_off_.data();
+    int depth = 0;
+    while (frontier_.any()) {
+      bool found_sink = false;
+      frontier_.for_each_set([&](std::size_t node) -> bool {
+        stats_.edge_visits += off[node + 1] - off[node];
+        for (std::size_t i = off[node]; i < off[node + 1]; ++i) {
+          const Edge& edge = edges_[handles[i]];
+          if (visited_.test(edge.to) || !(Cap(0) < edge.capacity)) continue;
+          visited_.set(edge.to);
+          level_[edge.to] = depth + 1;
+          if (edge.to == sink) {
+            found_sink = true;
+            return true;  // stop scanning: the level graph is usable
+          }
+          next_frontier_.set(edge.to);
+        }
+        return false;
+      });
+      if (found_sink) return true;
+      frontier_.swap(next_frontier_);
+      next_frontier_.clear_all();
+      ++depth;
+    }
+    return false;
+  }
+
+  // Flattens adjacency_ into one contiguous handle array + offsets (CSR),
+  // preserving per-node edge order exactly, so the accel-path BFS/DFS scan
+  // one flat array instead of chasing per-node vector headers. Capacity
+  // retunes (set_capacity / increase_capacity / reset_flow) never touch
+  // adjacency, so a warm-started probe sequence builds this once.
+  void ensure_csr() {
+    if (csr_valid_) return;
+    csr_off_.resize(node_count() + 1);
+    std::size_t total = 0;
+    for (std::size_t v = 0; v < node_count(); ++v) {
+      csr_off_[v] = total;
+      total += adjacency_[v].size();
+    }
+    csr_off_[node_count()] = total;
+    csr_handles_.resize(total);
+    std::size_t pos = 0;
+    for (const std::vector<std::size_t>& adj : adjacency_)
+      for (std::size_t handle : adj) csr_handles_[pos++] = handle;
+    csr_valid_ = true;
+  }
+
   // limit < 0 means unbounded (only the source call uses that).
   Cap push(std::size_t node, std::size_t sink, Cap limit) {
     if (node == sink) return limit;
-    for (std::size_t& i = next_edge_[node]; i < adjacency_[node].size(); ++i) {
+    // Same handles in the same order from either layout (see ensure_csr),
+    // so the two branches route bit-identical flow.
+    const std::size_t* adj;
+    std::size_t degree;
+    if (use_accel_) {
+      adj = csr_handles_.data() + csr_off_[node];
+      degree = csr_off_[node + 1] - csr_off_[node];
+    } else {
+      adj = adjacency_[node].data();
+      degree = adjacency_[node].size();
+    }
+    for (std::size_t& i = next_edge_[node]; i < degree; ++i) {
       ++stats_.edge_visits;
-      std::size_t handle = adjacency_[node][i];
+      std::size_t handle = adj[i];
       Edge& edge = edges_[handle];
-      if (!(Cap(0) < edge.capacity) || level_[edge.to] != level_[node] + 1)
+      // Level test first: it is a plain int compare, while the capacity
+      // test constructs a Cap(0) (a BigInt allocation-free but non-trivial
+      // Rat in the exact oracle). Both tests are pure, so the order only
+      // affects speed, never which edges descend.
+      if (level_[edge.to] != level_[node] + 1 || !(Cap(0) < edge.capacity))
         continue;
       Cap sub_limit = edge.capacity;
       if (Cap(0) < limit && limit < sub_limit) sub_limit = limit;
@@ -190,6 +296,14 @@ class Dinic {
   std::vector<int> level_;
   std::vector<std::size_t> next_edge_;
   std::vector<std::size_t> bfs_queue_;  // pooled BFS frontier, see build_levels
+  // Bit-parallel BFS state (build_levels_bitmap); pooled like bfs_queue_.
+  util::BitSet frontier_, next_frontier_, visited_;
+  // CSR mirror of adjacency_ for the accel path, see ensure_csr.
+  std::vector<std::size_t> csr_handles_;
+  std::vector<std::size_t> csr_off_;
+  bool csr_valid_ = false;
+  int accel_mode_ = -1;   // see set_level_kernel
+  bool use_accel_ = false;  // hoisted per max_flow call
   DinicStats stats_;
 };
 

@@ -10,7 +10,9 @@
 
 #include "minmach/core/canonical.hpp"
 #include "minmach/core/load_sweep.hpp"
+#include "minmach/core/load_sweep_simd.hpp"
 #include "minmach/flow/dinic.hpp"
+#include "minmach/util/simd.hpp"
 #include "minmach/obs/metrics.hpp"
 #include "minmach/obs/trace.hpp"
 #include "minmach/util/opt_cache.hpp"
@@ -60,6 +62,49 @@ IntegerGrid try_integer_grid(const Instance& instance) {
   }
   grid.usable = true;
   return grid;
+}
+
+// SIMD-mode shortcut for the common all-integer case (DESIGN.md §12):
+// when every job field is already a small integer within the same 62-bit
+// guard, the grid is the values themselves (denominator lcm is 1, scale is
+// the identity), so the BigInt lcm computation and the 3n exact Rat
+// multiplications of try_integer_grid can be skipped. Succeeds only on
+// instances try_integer_grid would also accept, and produces the same
+// grid, so integer_mode and every downstream verdict are unchanged; also
+// reports total work so the caller can derive the density bound without
+// rationals (declined if it overflows int64 -- the general path then
+// reproduces the seed arithmetic exactly).
+struct SmallGrid {
+  IntegerGrid grid;
+  std::int64_t total_work = 0;
+};
+
+SmallGrid try_small_integer_grid(const Instance& instance) {
+  SmallGrid out;
+  constexpr std::int64_t kMaxAbs = (std::int64_t{1} << 62) - 1;  // bit_length <= 62
+  IntegerGrid& grid = out.grid;
+  grid.release.reserve(instance.size());
+  grid.deadline.reserve(instance.size());
+  grid.processing.reserve(instance.size());
+  auto small_into = [](const Rat& value, std::vector<std::int64_t>& dst) {
+    if (!value.is_integer() || !value.num().is_small()) return false;
+    const std::int64_t v = value.num().small_value();
+    if (v < -kMaxAbs || v > kMaxAbs) return false;
+    dst.push_back(v);
+    return true;
+  };
+  __int128 total = 0;
+  for (const Job& j : instance.jobs()) {
+    if (!small_into(j.release, grid.release) ||
+        !small_into(j.deadline, grid.deadline) ||
+        !small_into(j.processing, grid.processing))
+      return out;
+    total += grid.processing.back();
+  }
+  if (total > INT64_MAX) return out;
+  out.total_work = static_cast<std::int64_t>(total);
+  grid.usable = true;
+  return out;
 }
 
 // ---- allocation network (solve_migratory) ------------------------------
@@ -138,6 +183,11 @@ struct OracleNet {
   Cap total_work{0};
   Cap routed{0};  // flow currently in the graph (accumulates across warm probes)
   std::int64_t flow_m = 0;  // machine count the routed flow was admitted under
+  // OracleOptions::simd resolved at construction: build() may batch the
+  // total-work sum, sweep_bound() may run the int64 SIMD kernel, and the
+  // constructor pins the Dinic level kernel accordingly. Results are
+  // identical either way.
+  bool accel = false;
   std::size_t source = 0;
   std::size_t sink = 0;
 
@@ -178,6 +228,7 @@ struct OracleNet {
     total_work = Cap(0);
     routed = Cap(0);
     flow_m = 0;
+    accel = false;
     source = 0;
     sink = 0;
   }
@@ -192,7 +243,16 @@ void OracleNet<Cap>::build(bool compress, BuildCounters& counters) {
   for (std::size_t k = 0; k < segments; ++k)
     seg_length[k] = points[k + 1] - points[k];
   total_work = Cap(0);
-  for (const Cap& p : processing) total_work += p;
+  if constexpr (std::is_same_v<Cap, Rat>) {
+    if (accel) {
+      total_work = rat_batch::sum(processing.data(), processing.size(),
+                                  util::simd::active());
+    } else {
+      for (const Cap& p : processing) total_work += p;
+    }
+  } else {
+    for (const Cap& p : processing) total_work += p;
+  }
   source = 0;
 
   if (!compress) {
@@ -404,6 +464,24 @@ std::int64_t OracleNet<Cap>::sweep_bound() const {
       points.size() <= 1 ? 1
                          : std::max<std::size_t>(
                                1, (points.size() - 1) / kLeftBudget);
+  if constexpr (std::is_same_v<Cap, __int128>) {
+    // Integer grid + SIMD dispatch: run the vectorized int64 kernel. Grid
+    // values fit int64 by the try_integer_grid guard; the kernel spills
+    // back to this generic path internally if its tighter overflow guard
+    // rejects the instance. Bit-identical results either way.
+    if (accel && util::simd::active()) {
+      auto narrow = [](const std::vector<__int128>& v) {
+        std::vector<std::int64_t> out(v.size());
+        for (std::size_t i = 0; i < v.size(); ++i)
+          out[i] = static_cast<std::int64_t>(v[i]);
+        return out;
+      };
+      return sweep_load_bound_i64(narrow(release), narrow(deadline),
+                                  narrow(processing), narrow(points), stride,
+                                  /*use_avx2=*/true)
+          .machines;
+    }
+  }
   return sweep_load_bound(release, deadline, processing, points,
                           [](const Cap& c, const Cap& len) {
                             if constexpr (std::is_same_v<Cap, Rat>) {
@@ -534,18 +612,38 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
     reg.counter("cache.fingerprints").add();
   }
 
-  std::vector<Rat> points = instance.event_points();
-  const Rat span = points.back() - points.front();
-  if (span.is_positive()) {
-    const Rat density = instance.total_work() / span;
-    im.density_lb = std::max<std::int64_t>(1, density.ceil().to_int64());
-  }
-
+  const bool accel = options.simd && util::simd::active();
   const std::size_t n = instance.size();
   BuildCounters counters;
-  if (IntegerGrid grid = try_integer_grid(instance); grid.usable) {
+
+  // SIMD fast path: when every field is a small integer the grid is the
+  // values themselves, so the Rat event-point sort, the exact density
+  // division, and try_integer_grid's lcm/rescale are all replaced by int64
+  // scans. Falls through to the seed arithmetic on any non-small input;
+  // either way integer_mode, density_lb, and the built network match the
+  // seed path value for value.
+  IntegerGrid grid;
+  std::int64_t small_total = 0;
+  if (accel) {
+    SmallGrid small = try_small_integer_grid(instance);
+    grid = std::move(small.grid);
+    small_total = small.total_work;
+  }
+  std::vector<Rat> points;
+  if (!grid.usable) {
+    points = instance.event_points();
+    const Rat span = points.back() - points.front();
+    if (span.is_positive()) {
+      const Rat density = instance.total_work() / span;
+      im.density_lb = std::max<std::int64_t>(1, density.ceil().to_int64());
+    }
+    grid = try_integer_grid(instance);
+  }
+
+  if (grid.usable) {
     im.integer_mode = true;
     OracleNet<__int128>& net = im.inet;
+    net.accel = accel;
     net.release.assign(grid.release.begin(), grid.release.end());
     net.deadline.assign(grid.deadline.begin(), grid.deadline.end());
     net.processing.assign(grid.processing.begin(), grid.processing.end());
@@ -555,10 +653,23 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
     ipoints.insert(ipoints.end(), grid.deadline.begin(), grid.deadline.end());
     std::sort(ipoints.begin(), ipoints.end());
     ipoints.erase(std::unique(ipoints.begin(), ipoints.end()), ipoints.end());
+    if (points.empty()) {
+      // Fast-path entry: the density bound from int64 values. ipoints is
+      // the same set the Rat event points would form, so span and
+      // ceil(total/span) equal the seed's exact-rational results.
+      const std::int64_t span = ipoints.back() - ipoints.front();
+      if (span > 0) {
+        const __int128 total = small_total;
+        im.density_lb = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>((total + span - 1) / span));
+      }
+    }
     net.points.assign(ipoints.begin(), ipoints.end());
     net.build(options.compress, counters);
+    net.graph.set_level_kernel(accel ? -1 : 0);
   } else {
     OracleNet<Rat>& net = im.rnet;
+    net.accel = accel;
     net.release.reserve(n);
     net.deadline.reserve(n);
     net.processing.reserve(n);
@@ -569,6 +680,7 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
     }
     net.points = std::move(points);
     net.build(options.compress, counters);
+    net.graph.set_level_kernel(accel ? -1 : 0);
   }
 
   obs::Registry& registry = obs::Registry::global();

@@ -44,8 +44,17 @@ struct OracleOptions {
   // Start the OPT search from the O(n^2) sweep single-interval load bound
   // (usually exact) instead of only ceil(total work / span).
   bool sweep_bound = true;
+  // Dispatch the SIMD/bit-parallel kernel layer (DESIGN.md §12): the int64
+  // sweep kernel, the bitmap Dinic level BFS, and the small-integer grid
+  // fast path in the constructor. ANDed with the global runtime mode
+  // (util::simd::active(), driven by the benches' --simd flag); verdicts,
+  // OPT values, and witnesses are bit-identical either way -- only wall
+  // clock and execution-class metrics move.
+  bool simd = true;
 
-  [[nodiscard]] static OracleOptions legacy() { return {false, false, false}; }
+  [[nodiscard]] static OracleOptions legacy() {
+    return {false, false, false, false};
+  }
 };
 
 // Reusable per-instance feasibility oracle. The Horn network depends on the

@@ -11,7 +11,8 @@ void drain_hot_tallies() {
   HotTallies& t = hot_tallies();
   if (t.bigint_promotions == 0 && t.bigint_slow_ops == 0 &&
       t.rat_fast_ops == 0 && t.rat_slow_ops == 0 && t.bigint_spill == 0 &&
-      t.arena_bytes == 0 && t.heap_allocs == 0)
+      t.arena_bytes == 0 && t.heap_allocs == 0 && t.simd_lanes_used == 0 &&
+      t.simd_scalar_spills == 0)
     return;
   Registry& registry = Registry::global();
   registry.counter("bigint.promotions").add(t.bigint_promotions);
@@ -21,6 +22,8 @@ void drain_hot_tallies() {
   registry.counter("mem.bigint_spill").add(t.bigint_spill);
   registry.counter("mem.arena_bytes").add(t.arena_bytes);
   registry.counter("mem.heap_allocs").add(t.heap_allocs);
+  registry.counter("simd.lanes_used").add(t.simd_lanes_used);
+  registry.counter("simd.scalar_spills").add(t.simd_scalar_spills);
   t = HotTallies{};
 }
 
@@ -98,7 +101,8 @@ Histogram& Registry::timing(const std::string& name) {
 
 bool is_exec_metric(std::string_view name) {
   static constexpr std::string_view kPrefixes[] = {
-      "oracle.", "flow.", "cache.", "speculate.", "bigint.", "rat.", "mem."};
+      "oracle.", "flow.", "cache.", "speculate.", "bigint.", "rat.", "mem.",
+      "simd."};
   for (std::string_view prefix : kPrefixes) {
     if (name.substr(0, prefix.size()) == prefix) return true;
   }

@@ -68,6 +68,10 @@ struct HotTallies {
   std::uint64_t bigint_spill = 0;  // "mem.bigint_spill": limb stores that outgrew the inline buffer
   std::uint64_t arena_bytes = 0;   // "mem.arena_bytes": bytes requested from arena scratch
   std::uint64_t heap_allocs = 0;   // "mem.heap_allocs": substrate heap allocations (spills + legacy-mode temporaries)
+  // SIMD kernel layer (DESIGN.md §12). Execution-class like the rest:
+  // dispatch mode moves them, results never.
+  std::uint64_t simd_lanes_used = 0;     // "simd.lanes_used": elements processed by vector lanes
+  std::uint64_t simd_scalar_spills = 0;  // "simd.scalar_spills": kernel calls that fell back (overflow guard / non-small input)
 };
 
 // Accessor for the calling thread's tallies. A function-local

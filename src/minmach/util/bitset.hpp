@@ -1,0 +1,86 @@
+// Packed-64-bit-word dynamic bit set for the bit-parallel graph kernels
+// (DESIGN.md §12): Dinic's level-graph BFS keeps its visited set and
+// frontiers here instead of in per-node byte arrays, so membership tests
+// touch 1/8th the memory, clearing is a word-fill over n/64 words, and
+// frontier iteration scans word-at-a-time with countr_zero -- empty regions
+// of the node space cost one load per 64 nodes. Modeled on the BitSet of
+// ExpressionMatrix2 (chanzuckerberg/ExpressionMatrix2), adapted to pooled
+// reuse: reset() keeps capacity, so a solver that rebuilds per probe never
+// re-allocates in steady state.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace minmach::util {
+
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(std::size_t bits) { reset(bits); }
+
+  // Resizes to `bits` bits, all clear. Keeps the existing allocation when
+  // it is large enough (the pooled-reuse contract).
+  void reset(std::size_t bits) {
+    bits_ = bits;
+    words_.assign(word_count(bits), 0);
+  }
+
+  void clear_all() { std::fill(words_.begin(), words_.end(), std::uint64_t{0}); }
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void clear(std::size_t i) { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (std::uint64_t w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (std::uint64_t w : words_) total += std::popcount(w);
+    return total;
+  }
+
+  // Calls fn(index) for every set bit in ascending order. fn returns void,
+  // or bool where `true` stops the scan early (the BFS sink-abort path).
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const std::size_t bit = (wi << 6) + std::countr_zero(w);
+        if constexpr (std::is_same_v<decltype(fn(bit)), bool>) {
+          if (fn(bit)) return;
+        } else {
+          fn(bit);
+        }
+        w &= w - 1;
+      }
+    }
+  }
+
+  void swap(BitSet& other) noexcept {
+    words_.swap(other.words_);
+    std::swap(bits_, other.bits_);
+  }
+
+ private:
+  static std::size_t word_count(std::size_t bits) { return (bits + 63) >> 6; }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace minmach::util

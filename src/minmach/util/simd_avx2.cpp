@@ -1,0 +1,117 @@
+// AVX2 implementations of the util/simd.hpp kernels. This translation unit
+// is compiled with -mavx2 (see src/CMakeLists.txt) and excluded entirely
+// under MINMACH_SIMD=scalar; callers reach it only through the dispatch
+// wrappers in simd.cpp, which check util::simd::supported() (cpuid) first,
+// so no AVX2 instruction can execute on a CPU without the feature.
+#include "minmach/util/simd.hpp"
+
+#if MINMACH_SIMD_COMPILE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+namespace minmach::util::simd::detail {
+
+namespace {
+
+// Horizontal min/max of a 4-lane int64 vector via two fold steps.
+inline std::int64_t hmin_epi64(__m256i v) {
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return std::min(std::min(lanes[0], lanes[1]), std::min(lanes[2], lanes[3]));
+}
+
+inline std::int64_t hmax_epi64(__m256i v) {
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return std::max(std::max(lanes[0], lanes[1]), std::max(lanes[2], lanes[3]));
+}
+
+inline __m256i min_epi64(__m256i a, __m256i b) {
+  // AVX2 has no pminsq; blend on the 64-bit compare mask instead.
+  return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+}
+
+inline __m256i max_epi64(__m256i a, __m256i b) {
+  return _mm256_blendv_epi8(b, a, _mm256_cmpgt_epi64(a, b));
+}
+
+}  // namespace
+
+std::uint64_t minmax_i64_avx2(const std::int64_t* v, std::size_t n,
+                              std::int64_t* min_out, std::int64_t* max_out) {
+  std::int64_t mn = v[0], mx = v[0];
+  std::size_t i = 0;
+  std::uint64_t lanes = 0;
+  if (n >= 4) {
+    __m256i vmn = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v));
+    __m256i vmx = vmn;
+    for (i = 4; i + 4 <= n; i += 4) {
+      __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+      vmn = min_epi64(vmn, x);
+      vmx = max_epi64(vmx, x);
+    }
+    mn = hmin_epi64(vmn);
+    mx = hmax_epi64(vmx);
+    lanes = i;
+  }
+  for (; i < n; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+  }
+  *min_out = mn;
+  *max_out = mx;
+  return lanes;
+}
+
+std::uint64_t sum_i64_avx2(const std::int64_t* v, std::size_t n,
+                           std::int64_t* out) {
+  // Caller (simd.cpp) guarantees n * max|v| < 2^62, so neither the lane
+  // accumulators nor the final horizontal sum can wrap.
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  const std::uint64_t vector_lanes = i;
+  for (; i < n; ++i) total += v[i];
+  *out = total;
+  return vector_lanes;
+}
+
+std::uint64_t rat31_less_avx2(const std::int64_t* an, const std::int64_t* ad,
+                              const std::int64_t* bn, const std::int64_t* bd,
+                              std::size_t n, unsigned char* out) {
+  // |values| < 2^31 and dens > 0, so each 64-bit lane holds its value in
+  // the low 32 bits (two's complement) and _mm256_mul_epi32 -- a signed
+  // 32x32->64 multiply of the low dwords -- computes the cross-products
+  // exactly.
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i van = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(an + i));
+    __m256i vad = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ad + i));
+    __m256i vbn = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bn + i));
+    __m256i vbd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bd + i));
+    __m256i lhs = _mm256_mul_epi32(van, vbd);
+    __m256i rhs = _mm256_mul_epi32(vbn, vad);
+    __m256i lt = _mm256_cmpgt_epi64(rhs, lhs);  // lhs < rhs
+    int mask = _mm256_movemask_pd(_mm256_castsi256_pd(lt));
+    out[i + 0] = static_cast<unsigned char>(mask & 1);
+    out[i + 1] = static_cast<unsigned char>((mask >> 1) & 1);
+    out[i + 2] = static_cast<unsigned char>((mask >> 2) & 1);
+    out[i + 3] = static_cast<unsigned char>((mask >> 3) & 1);
+  }
+  const std::uint64_t vector_lanes = i;
+  for (; i < n; ++i)
+    out[i] = static_cast<unsigned char>(an[i] * bd[i] < bn[i] * ad[i]);
+  return vector_lanes;
+}
+
+}  // namespace minmach::util::simd::detail
+
+#endif  // MINMACH_SIMD_COMPILE_AVX2

@@ -13,6 +13,8 @@
 #include "bench/bench_common.hpp"
 #include "minmach/core/instance.hpp"
 #include "minmach/core/schedule.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
 #include "minmach/obs/json.hpp"
 #include "minmach/obs/metrics.hpp"
 #include "minmach/obs/report.hpp"
@@ -21,6 +23,8 @@
 #include "minmach/util/hash.hpp"
 #include "minmach/util/opt_cache.hpp"
 #include "minmach/util/rational.hpp"
+#include "minmach/util/rng.hpp"
+#include "minmach/util/simd.hpp"
 
 namespace minmach::obs {
 namespace {
@@ -201,11 +205,12 @@ TEST(Metrics, ParallelMergeIsThreadCountInvariant) {
 }
 
 // Execution-class metrics (oracle.*, flow.*, cache.*, speculate.*,
-// bigint.*, rat.*, mem.*) measure HOW an answer was computed -- a warm
-// cache skips probes and all the arithmetic inside them -- so snapshots
-// segregate them from the semantic counters and to_json() omits them by
-// default (that is what keeps --report bytes identical with the cache on
-// or off).
+// bigint.*, rat.*, mem.*, simd.*) measure HOW an answer was computed -- a
+// warm cache skips probes and all the arithmetic inside them, a SIMD
+// kernel counts lanes the scalar path never sees -- so snapshots segregate
+// them from the semantic counters and to_json() omits them by default
+// (that is what keeps --report bytes identical with the cache on or off
+// and under any --simd dispatch mode).
 TEST(Metrics, ExecClassMetricsAreSegregatedFromSemanticOnes) {
   EXPECT_TRUE(is_exec_metric("oracle.probes"));
   EXPECT_TRUE(is_exec_metric("flow.augmentations"));
@@ -214,6 +219,8 @@ TEST(Metrics, ExecClassMetricsAreSegregatedFromSemanticOnes) {
   EXPECT_TRUE(is_exec_metric("bigint.promotions"));
   EXPECT_TRUE(is_exec_metric("rat.fast_ops"));
   EXPECT_TRUE(is_exec_metric("mem.heap_allocs"));
+  EXPECT_TRUE(is_exec_metric("simd.lanes_used"));
+  EXPECT_TRUE(is_exec_metric("simd.scalar_spills"));
   EXPECT_FALSE(is_exec_metric("adversary.case1"));
   EXPECT_FALSE(is_exec_metric("sim.jobs"));
   EXPECT_FALSE(is_exec_metric("test.semantic"));
@@ -241,6 +248,45 @@ TEST(Metrics, ExecClassMetricsAreSegregatedFromSemanticOnes) {
   EXPECT_NE(full_json.find("cache.hits"), std::string::npos);
   EXPECT_NE(full_json.find("speculate.depth"), std::string::npos);
   r.reset();
+}
+
+// The SIMD dispatch mode only moves simd.* / flow.* execution-class
+// tallies: the same OPT computation under scalar and auto dispatch must
+// produce byte-identical semantic report JSON, while (when the AVX2
+// kernels are live) the accel run records lane traffic the scalar run
+// cannot.
+TEST(Metrics, SimdDispatchInvarianceOfSemanticSnapshots) {
+  const util::simd::Mode saved = util::simd::mode();
+  Rng rng(97);
+  const Instance instance = gen_unit(rng, GenConfig{80, 10, 10, 1});
+  auto run = [&](util::simd::Mode mode) {
+    util::simd::set_mode(mode);
+    Registry& r = Registry::global();
+    (void)r.snapshot();  // drain residue from earlier tests
+    r.reset();
+    FeasibilityOracle oracle(instance);
+    r.counter("test.opt_value")
+        .add(static_cast<std::uint64_t>(oracle.optimal_machines()));
+    return r.snapshot();
+  };
+  Snapshot scalar = run(util::simd::Mode::kScalar);
+  Snapshot fast = run(util::simd::Mode::kAuto);
+  util::simd::set_mode(saved);
+  EXPECT_EQ(scalar.counters.at("test.opt_value"),
+            fast.counters.at("test.opt_value"));
+  // Semantic view (what --report serializes): byte-identical across modes.
+  EXPECT_EQ(scalar.to_json(), fast.to_json());
+#if MINMACH_OBS_ENABLED
+  // The drain materializes every tally counter (possibly at zero); the
+  // VALUE is what the dispatch mode moves.
+  auto lanes = [](const Snapshot& snap) -> std::uint64_t {
+    auto it = snap.exec_counters.find("simd.lanes_used");
+    return it == snap.exec_counters.end() ? 0u : it->second;
+  };
+  EXPECT_EQ(lanes(scalar), 0u);
+  if (util::simd::supported()) EXPECT_GT(lanes(fast), 0u);
+#endif
+  Registry::global().reset();
 }
 
 // cache.* / speculate.* tallies merge deterministically across thread
