@@ -19,7 +19,10 @@
 #include <utility>
 #include <vector>
 
+#include "minmach/obs/histogram.hpp"
+#include "minmach/obs/json.hpp"
 #include "minmach/obs/metrics.hpp"
+#include "minmach/obs/profile.hpp"
 #include "minmach/obs/report.hpp"
 #include "minmach/obs/trace.hpp"
 #include "minmach/util/cli.hpp"
@@ -50,6 +53,25 @@ inline void require(bool condition, const std::string& message) {
 // Default entry budget for --cache-capacity (~3 MB of verdicts).
 inline constexpr std::int64_t kDefaultCacheCapacity = 1 << 16;
 
+// Version tag for the BENCH_*.json artifacts the drivers emit. perfdiff
+// refuses artifacts without it (schema drift would otherwise surface as
+// spurious "regressions" when a metric is renamed).
+inline constexpr std::string_view kBenchJsonSchema = "bench-json-v1";
+
+// Build-time git revision, injected by CMake (-DMINMACH_GIT_REV=...);
+// "unknown" outside a git checkout (e.g. tarball builds).
+#ifndef MINMACH_GIT_REV
+#define MINMACH_GIT_REV "unknown"
+#endif
+
+// Stamps a BENCH_*.json artifact with its schema version and the producing
+// revision. Call immediately after the top-level begin_object() so the
+// stamp leads the document.
+inline void write_bench_stamp(obs::JsonWriter& json) {
+  json.key("schema").value(kBenchJsonSchema);
+  json.key("git_rev").value(std::string_view(MINMACH_GIT_REV));
+}
+
 // Per-driver run context. Reads the common --report / --trace flags (so
 // every driver accepts them uniformly), installs the global trace sink for
 // the run's lifetime, prints the standard header, and -- on finish() or
@@ -74,6 +96,14 @@ inline constexpr std::int64_t kDefaultCacheCapacity = 1 << 16;
 // measures the fallback); scalar forces the portable path for differential
 // runs. Results are bit-identical across modes -- the flag only moves wall
 // clock and execution-class metrics.
+//
+// Also reads --profile {on,off} (default off) and arms the span profiler +
+// latency histograms (DESIGN.md §13) for the run. Profiling only ADDS the
+// report's "profile"/"latency" sections (and the optional
+// --profile-chrome=FILE trace); every other report byte is unchanged, so a
+// profiled run diffs clean against an un-profiled one outside those
+// sections. Like --threads/--cache/--simd, the flag is excluded from the
+// report config.
 class Run {
  public:
   Run(Cli& cli, std::string experiment, std::string paper_claim) {
@@ -116,7 +146,17 @@ class Run {
       std::exit(2);
     }
     util::simd::set_mode(simd_mode);
+    const std::string profile_flag = cli.get_string("profile", "off");
+    if (profile_flag != "on" && profile_flag != "off") {
+      std::cerr << "error: --profile must be 'on' or 'off' (got '"
+                << profile_flag << "')\n";
+      std::exit(2);
+    }
+    profiling_ = profile_flag == "on";
+    profile_chrome_path_ = cli.get_string("profile-chrome", "");
     obs::Registry::global().reset();
+    obs::LatencyRegistry::global().reset();
+    obs::set_profiling(profiling_);
     print_header(experiment, paper_claim);
     report_.experiment = std::move(experiment);
     report_.claim = std::move(paper_claim);
@@ -157,7 +197,14 @@ class Run {
     if (finished_) return;
     finished_ = true;
     report_.metrics = obs::Registry::global().snapshot();
+    report_.profiled = profiling_;
+    if (profiling_) {
+      report_.latencies = obs::LatencyRegistry::global().summaries();
+      obs::set_profiling(false);
+    }
     if (!report_path_.empty()) obs::save_report(report_path_, report_);
+    if (profiling_ && !profile_chrome_path_.empty())
+      obs::save_profile_chrome_trace(profile_chrome_path_, report_.metrics);
     if (sink_) {
       obs::TraceSink::set_global(nullptr);
       sink_.reset();
@@ -167,7 +214,9 @@ class Run {
  private:
   obs::RunReport report_;
   std::string report_path_;
+  std::string profile_chrome_path_;
   std::unique_ptr<obs::TraceSink> sink_;
+  bool profiling_ = false;
   bool finished_ = false;
 };
 

@@ -273,4 +273,26 @@ BENCHMARK(BM_SimulatorFirstFit)->Arg(25)->Arg(50)->Arg(100)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the bench-json-v1 stamp: google-benchmark
+// puts custom context into the JSON artifact's "context" object, which
+// perfdiff reads as context.schema / context.git_rev (same gate as the
+// top-level stamp on the driver artifacts).
+int main(int argc, char** argv) {
+  char arg0_default[] = "benchmark";
+  char* args_default = arg0_default;
+  if (!argv) {
+    argc = 1;
+    argv = &args_default;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("schema", "bench-json-v1");
+#ifdef MINMACH_GIT_REV
+  benchmark::AddCustomContext("git_rev", MINMACH_GIT_REV);
+#else
+  benchmark::AddCustomContext("git_rev", "unknown");
+#endif
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

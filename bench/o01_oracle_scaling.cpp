@@ -206,6 +206,7 @@ int main(int argc, char** argv) {
   bench::require(static_cast<bool>(os), "cannot open " + out_path);
   obs::JsonWriter json(os);
   json.begin_object();
+  bench::write_bench_stamp(json);
   json.key("experiment").value("o01_oracle_scaling");
   json.key("seed").value(static_cast<std::int64_t>(seed));
   json.key("rows").begin_array();

@@ -291,6 +291,7 @@ int main(int argc, char** argv) {
   bench::require(static_cast<bool>(os), "cannot open " + out_path);
   obs::JsonWriter json(os);
   json.begin_object();
+  bench::write_bench_stamp(json);
   json.key("experiment").value("q01_query_engine");
   json.key("seed").value(static_cast<std::int64_t>(seed));
   json.key("strong_lb_family").begin_object();

@@ -449,6 +449,7 @@ int main(int argc, char** argv) {
   bench::require(static_cast<bool>(os), "cannot open " + out_path);
   obs::JsonWriter json(os);
   json.begin_object();
+  bench::write_bench_stamp(json);
   json.key("experiment").value("v01_simd_kernels");
   json.key("seed").value(static_cast<std::int64_t>(seed));
   json.key("avx2_available").value(avx2);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "minmach/obs/profile.hpp"
 #include "minmach/util/rational.hpp"
 
 namespace minmach {
@@ -17,6 +18,7 @@ BigInt scale_to_grid(const Rat& value, const BigInt& lcm) {
 }  // namespace
 
 CanonicalInstance canonicalize(const Instance& instance) {
+  obs::ProfileSpan span("canonicalize");
   CanonicalInstance out;
   if (instance.empty()) return out;
   const std::vector<Job>& jobs = instance.jobs();
@@ -73,6 +75,7 @@ util::Digest128 fingerprint(const CanonicalInstance& canonical) {
 }
 
 util::Digest128 canonical_fingerprint(const Instance& instance) {
+  obs::ProfileSpan span("fingerprint");
   return fingerprint(canonicalize(instance));
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "minmach/core/load_sweep.hpp"
+#include "minmach/obs/profile.hpp"
 #include "minmach/util/simd.hpp"
 
 namespace minmach::detail {
@@ -69,6 +70,7 @@ struct ScanHit {
 template <class Ops>
 SweepWitness sweep_kernel_i64(SweepSoA& s, std::size_t left_stride,
                               std::uint64_t* lanes_out) {
+  obs::ProfileSpan span("sweep_kernel");
   SweepWitness best;
   Ops ops;
   const std::int64_t* pts = s.points;

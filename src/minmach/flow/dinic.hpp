@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "minmach/obs/profile.hpp"
 #include "minmach/util/arena.hpp"
 #include "minmach/util/bitset.hpp"
 #include "minmach/util/simd.hpp"
@@ -106,6 +107,7 @@ class Dinic {
 
   Cap max_flow(std::size_t source, std::size_t sink) {
     if (source == sink) throw std::invalid_argument("Dinic: source == sink");
+    obs::ProfileSpan span("max_flow");
     // Accel decision hoisted per call (DESIGN.md §12): the bit-parallel
     // level BFS plus the CSR adjacency mirror. Edge ORDER is identical
     // either way, so the routed flow is bit-identical; only locality and
@@ -115,7 +117,18 @@ class Dinic {
                   (accel_mode_ < 0 && util::simd::active()));
     if (use_accel_) ensure_csr();
     Cap total(0);
-    while (build_levels(source, sink)) {
+    // Profiled as two child phases: "bfs" covers the level-graph builds,
+    // "dfs" the blocking-flow augmentation between them. Span counts equal
+    // the number of Dinic phases, which the determinism harness already
+    // pins via flow.bfs_passes.
+    while (true) {
+      bool layered;
+      {
+        obs::ProfileSpan bfs_span("bfs");
+        layered = build_levels(source, sink);
+      }
+      if (!layered) break;
+      obs::ProfileSpan dfs_span("dfs");
       next_edge_.assign(node_count(), 0);
       while (true) {
         Cap pushed = push(source, sink, Cap(-1));

@@ -13,7 +13,9 @@
 #include "minmach/core/load_sweep_simd.hpp"
 #include "minmach/flow/dinic.hpp"
 #include "minmach/util/simd.hpp"
+#include "minmach/obs/histogram.hpp"
 #include "minmach/obs/metrics.hpp"
+#include "minmach/obs/profile.hpp"
 #include "minmach/obs/trace.hpp"
 #include "minmach/util/opt_cache.hpp"
 
@@ -593,6 +595,7 @@ void FeasibilityOracle::ImplDeleter::operator()(Impl* impl) const noexcept {
 FeasibilityOracle::FeasibilityOracle(const Instance& instance,
                                      const OracleOptions& options)
     : impl_(acquire_impl()) {
+  obs::ProfileSpan span("oracle_build");
   Impl& im = *impl_;
   im.options = options;
   im.empty = instance.empty();
@@ -724,6 +727,7 @@ void FeasibilityOracle::Impl::publish_flow_stats() {
 }
 
 bool FeasibilityOracle::Impl::probe(std::int64_t machines) {
+  obs::ProfileSpan span("probe");
   obs::Registry& registry = obs::Registry::global();
   registry.counter("oracle.probes").add();
   ++probes_executed;
@@ -731,6 +735,7 @@ bool FeasibilityOracle::Impl::probe(std::int64_t machines) {
   bool warm = false;
   {
     obs::ScopedTimer timer(registry.timing("oracle.probe_ns"));
+    obs::ScopedLatency latency("hist.probe_ns");
     result = integer_mode
                  ? inet.probe(machines, options.warm_start, warm)
                  : rnet.probe(machines, options.warm_start, warm);
@@ -754,6 +759,7 @@ std::int64_t FeasibilityOracle::Impl::lower_bound() {
   if (lb_cache) return *lb_cache;
   std::int64_t lb = empty ? 0 : density_lb;
   if (options.sweep_bound && !empty && well_formed) {
+    obs::ProfileSpan span("sweep_bound");
     obs::Registry& registry = obs::Registry::global();
     obs::ScopedTimer timer(registry.timing("oracle.sweep_ns"));
     registry.counter("oracle.sweep_bounds").add();
@@ -809,6 +815,7 @@ std::int64_t FeasibilityOracle::optimal_machines() {
   if (im.empty) return 0;
   if (!im.well_formed)
     throw std::invalid_argument("FeasibilityOracle: malformed instance");
+  obs::ProfileSpan opt_span("opt_search");
   if (im.has_fp) {
     if (std::optional<std::int64_t> hit =
             util::OptCache::global().lookup_opt(im.fp)) {
@@ -873,6 +880,7 @@ std::optional<FlowAllocation> solve_migratory(const Instance& instance,
   if (instance.empty())
     return FlowAllocation{instance.event_points(), {}};
   if (machines <= 0 || !instance.well_formed()) return std::nullopt;
+  obs::ProfileSpan span("solve_allocation");
   Network net = build_network(instance, machines);
   bool routed = net.graph.max_flow(net.source, net.sink) == net.total_work;
   {

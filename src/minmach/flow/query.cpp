@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "minmach/core/canonical.hpp"
+#include "minmach/obs/histogram.hpp"
 #include "minmach/obs/metrics.hpp"
+#include "minmach/obs/profile.hpp"
 #include "minmach/util/opt_cache.hpp"
 
 namespace minmach {
@@ -62,6 +64,8 @@ QueryStats query_optimal_machines_stats(const Instance& instance,
   if (instance.empty()) return out;
   if (!instance.well_formed())
     throw std::invalid_argument("query_optimal_machines: malformed instance");
+  obs::ProfileSpan span("query");
+  obs::ScopedLatency latency("hist.query_ns");
 
   util::OptCache& cache = util::OptCache::global();
   const bool cached = options.use_cache && cache.enabled();
@@ -119,7 +123,10 @@ QueryStats query_optimal_machines_stats(const Instance& instance,
         if (round.empty() || round.back().m != m) round.push_back({m, false});
       }
     }
-    probe_round(lanes, round);
+    {
+      obs::ProfileSpan round_span("speculate_round");
+      probe_round(lanes, round);
+    }
     ++out.rounds;
 
     // Fold every verdict into the bracket, then count the probes whose

@@ -1,0 +1,173 @@
+#include "minmach/obs/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace minmach::obs {
+
+namespace {
+
+// Saturating add on an atomic int64 accumulator (latency sums over long
+// runs must cap, not wrap).
+void saturating_add(std::atomic<std::int64_t>& accumulator,
+                    std::int64_t delta) {
+  std::int64_t seen = accumulator.load(std::memory_order_relaxed);
+  std::int64_t next;
+  do {
+    next = seen > INT64_MAX - delta ? INT64_MAX : seen + delta;
+  } while (!accumulator.compare_exchange_weak(seen, next,
+                                              std::memory_order_relaxed));
+}
+
+void atomic_min(std::atomic<std::int64_t>& slot, std::int64_t candidate) {
+  std::int64_t seen = slot.load(std::memory_order_relaxed);
+  while (candidate < seen &&
+         !slot.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& slot, std::int64_t candidate) {
+  std::int64_t seen = slot.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !slot.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int LatencyHistogram::bucket_index(std::int64_t sample) noexcept {
+  if (sample < 0) sample = 0;
+  const auto v = static_cast<std::uint64_t>(sample);
+  if (v < kSub) return static_cast<int>(v);
+  // msb >= kSubBits here. The top kSubBits + 1 significant bits select the
+  // bucket: one octave per msb, kSub linear sub-buckets inside it.
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBits;
+  const int sub = static_cast<int>((v >> shift) - kSub);
+  return (msb - kSubBits + 1) * kSub + sub;
+}
+
+std::int64_t LatencyHistogram::bucket_upper(int index) noexcept {
+  if (index < kSub) return index;
+  const int major = index / kSub;  // octaves above the linear range
+  const int sub = index % kSub;
+  const int shift = major - 1;
+  // Bucket covers [(sub + kSub) << shift, ((sub + kSub + 1) << shift) - 1];
+  // for the last bucket this is exactly INT64_MAX (the edge computation
+  // runs unsigned because (kSub + kSub) << shift transiently hits 2^63).
+  return static_cast<std::int64_t>(
+      ((static_cast<std::uint64_t>(sub) + kSub + 1) << shift) - 1);
+}
+
+void LatencyHistogram::record(std::int64_t sample) noexcept {
+  if (sample < 0) sample = 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  saturating_add(sum_, sample);
+  atomic_min(min_, sample);
+  atomic_max(max_, sample);
+  buckets_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  const std::uint64_t other_count =
+      other.count_.load(std::memory_order_relaxed);
+  if (other_count == 0) return;
+  count_.fetch_add(other_count, std::memory_order_relaxed);
+  saturating_add(sum_, other.sum_.load(std::memory_order_relaxed));
+  atomic_min(min_, other.min_.load(std::memory_order_relaxed));
+  atomic_max(max_, other.max_.load(std::memory_order_relaxed));
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+LatencyData LatencyHistogram::data() const {
+  LatencyData out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.min = out.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) out.buckets[b] = n;
+  }
+  return out;
+}
+
+std::int64_t LatencyHistogram::percentile(double q) const {
+  const std::uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      const std::int64_t edge = bucket_upper(b);
+      const std::int64_t observed_max = max_.load(std::memory_order_relaxed);
+      return edge < observed_max ? edge : observed_max;
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+LatencySummary LatencyHistogram::summary() const {
+  LatencySummary out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = out.count == 0 ? 0 : max_.load(std::memory_order_relaxed);
+  out.p50 = percentile(0.50);
+  out.p90 = percentile(0.90);
+  out.p99 = percentile(0.99);
+  return out;
+}
+
+void LatencyHistogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (int b = 0; b < kBuckets; ++b)
+    buckets_[b].store(0, std::memory_order_relaxed);
+}
+
+LatencyRegistry& LatencyRegistry::global() {
+  static LatencyRegistry instance;
+  return instance;
+}
+
+LatencyHistogram& LatencyRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::map<std::string, LatencySummary> LatencyRegistry::summaries() const {
+  std::map<std::string, LatencySummary> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, histogram] : histograms_) {
+    LatencySummary summary = histogram->summary();
+    if (summary.count != 0) out.emplace(name, summary);
+  }
+  return out;
+}
+
+void LatencyRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+ScopedLatency::~ScopedLatency() {
+  if (!armed_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  LatencyRegistry::global().histogram(name_).record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+}  // namespace minmach::obs

@@ -1,0 +1,133 @@
+// HDR-style latency histograms (DESIGN.md §13): log2 major buckets, each
+// split into 16 linear sub-buckets, so any non-negative int64 sample is
+// bucketed in O(1) with a worst-case relative error under 1/16 (~6%) --
+// tight enough for p50/p90/p99 extraction, small enough (960 buckets) to
+// keep one histogram per latency name resident.
+//
+// All mutation is relaxed atomics and all aggregation is commutative
+// (bucket-wise addition, min/max), so concurrent recording from probe
+// lanes and parallel_map workers is deterministic in aggregate: the merged
+// bucket counts depend only on the multiset of samples, never on thread
+// interleaving. Sample values themselves are wall-clock and therefore
+// execution-class; the derived report section only appears in profiled
+// runs (bench::Run --profile on).
+//
+// The process-wide `LatencyRegistry` names histograms "hist.<what>_ns"
+// ("hist." is an is_exec_metric prefix). `ScopedLatency` is the recording
+// primitive: RAII, active only while profiling_enabled(), so default runs
+// pay one relaxed load per instrumented site.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "minmach/obs/profile.hpp"
+
+namespace minmach::obs {
+
+// Plain-value mirror of a histogram for tests and merges-by-value.
+struct LatencyData {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;  // saturates at INT64_MAX
+  std::int64_t min = 0;  // meaningful only when count > 0
+  std::int64_t max = 0;
+  std::map<int, std::uint64_t> buckets;  // bucket index -> count
+
+  friend bool operator==(const LatencyData&, const LatencyData&) = default;
+};
+
+// Percentile summary extracted from the buckets. Percentile values are the
+// inclusive upper edge of the rank's bucket, clamped to the observed max,
+// so p50 <= p90 <= p99 <= max always holds.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+  std::int64_t max = 0;
+
+  friend bool operator==(const LatencySummary&, const LatencySummary&) =
+      default;
+};
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr int kSub = 1 << kSubBits;  // linear sub-buckets per octave
+  static constexpr int kBuckets = (64 - kSubBits) * kSub;  // 960
+
+  // Bucket index of a sample; negative samples clamp to 0, INT64_MAX lands
+  // in the last bucket (index kBuckets - 1). Values below kSub are exact
+  // (bucket i holds exactly {i}).
+  [[nodiscard]] static int bucket_index(std::int64_t sample) noexcept;
+  // Inclusive upper edge of a bucket; bucket_upper(kBuckets - 1) is
+  // INT64_MAX, so edges never overflow.
+  [[nodiscard]] static std::int64_t bucket_upper(int index) noexcept;
+
+  void record(std::int64_t sample) noexcept;
+  // Adds `other`'s samples into this histogram. Commutative and
+  // associative, so any merge order over per-thread histograms yields the
+  // same buckets.
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] LatencyData data() const;
+  [[nodiscard]] LatencySummary summary() const;
+  // Smallest recorded-bucket upper edge covering at least ceil(q * count)
+  // samples, clamped to the observed max; 0 when empty. q in (0, 1].
+  [[nodiscard]] std::int64_t percentile(double q) const;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{INT64_MAX};  // sentinel until first sample
+  std::atomic<std::int64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+// Process-wide named latency histograms, parallel to obs::Registry (kept
+// separate because these are wall-clock data that must never enter the
+// deterministic snapshot sections). Lookup creates on first use;
+// references stay valid for the registry's lifetime.
+class LatencyRegistry {
+ public:
+  static LatencyRegistry& global();
+
+  LatencyHistogram& histogram(const std::string& name);
+  // Summaries of every histogram with at least one sample, name-sorted.
+  [[nodiscard]] std::map<std::string, LatencySummary> summaries() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+// Records the scope's wall time into LatencyRegistry::global() under
+// `name` on destruction -- but only when profiling was enabled at
+// construction, so un-profiled runs pay one relaxed load.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(const char* name) noexcept : name_(name) {
+    if (!profiling_enabled()) return;
+    armed_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedLatency();
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  const char* name_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace minmach::obs

@@ -4,10 +4,15 @@
 #include <sstream>
 
 #include "minmach/obs/json.hpp"
+#include "minmach/obs/profile.hpp"
 
 namespace minmach::obs {
 
 void drain_hot_tallies() {
+  // Piggyback the span-profiler drain on every tally drain point
+  // (parallel_map workers, speculation lanes, Registry::snapshot), so a
+  // profiled parallel run folds every thread's span tree exactly once.
+  profile_drain_thread();
   HotTallies& t = hot_tallies();
   if (t.bigint_promotions == 0 && t.bigint_slow_ops == 0 &&
       t.rat_fast_ops == 0 && t.rat_slow_ops == 0 && t.bigint_spill == 0 &&
@@ -102,7 +107,7 @@ Histogram& Registry::timing(const std::string& name) {
 bool is_exec_metric(std::string_view name) {
   static constexpr std::string_view kPrefixes[] = {
       "oracle.", "flow.", "cache.", "speculate.", "bigint.", "rat.", "mem.",
-      "simd."};
+      "simd.", "profile.", "hist."};
   for (std::string_view prefix : kPrefixes) {
     if (name.substr(0, prefix.size()) == prefix) return true;
   }
@@ -133,6 +138,7 @@ Snapshot Registry::snapshot() {
 
 void Registry::reset() {
   hot_tallies() = HotTallies{};
+  profile_reset_thread();
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();

@@ -213,9 +213,11 @@ class ScopedTimer {
 
 // True for metrics describing HOW work was executed (probe counts, flow
 // passes, cache traffic, speculation rounds, arithmetic and memory
-// tallies): name prefixes oracle. / flow. / cache. / speculate. / bigint. /
-// rat. / mem.. Snapshots segregate these (see file comment) because the
-// OPT cache makes them dependent on cache state and interleaving.
+// tallies, SIMD lane usage, profiler spans, latency histograms): name
+// prefixes oracle. / flow. / cache. / speculate. / bigint. / rat. / mem. /
+// simd. / profile. / hist.. Snapshots segregate these (see file comment)
+// because the OPT cache makes them dependent on cache state and
+// interleaving.
 // Classification is by name, not by a flag at registration, so a counter
 // read via Registry::counter("mem.x") in a bench lands in the same class
 // as one drained from hot tallies.

@@ -1,0 +1,262 @@
+#include "minmach/obs/profile.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "minmach/obs/json.hpp"
+#include "minmach/obs/metrics.hpp"
+
+namespace minmach::obs {
+
+namespace {
+
+std::atomic<bool> g_profiling{false};
+
+// Thread-local span tree. Node 0 is the root sentinel (the "no open span"
+// state); children are an intrusive singly-linked list so opening a span
+// is a short scan over its parent's (few) children. Names are expected to
+// be string literals, but nodes match by strcmp so the same span name used
+// from two translation units still lands on one node.
+struct SpanNode {
+  const char* name = nullptr;
+  std::int32_t parent = -1;
+  std::int32_t first_child = -1;
+  std::int32_t next_sibling = -1;
+  std::uint64_t calls = 0;
+  std::int64_t total_ns = 0;
+};
+
+struct SpanTree {
+  std::vector<SpanNode> nodes;
+  std::int32_t current = 0;
+  bool dirty = false;
+
+  SpanTree() { nodes.push_back(SpanNode{}); }
+};
+
+SpanTree& tree() {
+  static thread_local SpanTree t;
+  return t;
+}
+
+// Appends "profile.<path>.<calls|ns>" rows for `node` and its subtree into
+// the registry; paths build up along the DFS.
+void drain_node(SpanTree& t, std::int32_t id, std::string& path,
+                Registry& registry) {
+  SpanNode& node = t.nodes[static_cast<std::size_t>(id)];
+  const std::size_t saved = path.size();
+  if (id != 0) {
+    if (!path.empty()) path += '/';
+    path += node.name;
+    if (node.calls != 0 || node.total_ns != 0) {
+      registry.counter("profile." + path + ".calls").add(node.calls);
+      registry.timing("profile." + path + ".ns").observe(node.total_ns);
+      node.calls = 0;
+      node.total_ns = 0;
+    }
+  }
+  for (std::int32_t child = node.first_child; child != -1;
+       child = t.nodes[static_cast<std::size_t>(child)].next_sibling) {
+    drain_node(t, child, path, registry);
+  }
+  path.resize(saved);
+}
+
+}  // namespace
+
+void set_profiling(bool enabled) noexcept {
+  g_profiling.store(enabled, std::memory_order_relaxed);
+}
+
+bool profiling_enabled() noexcept {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+namespace profile_detail {
+
+std::int32_t enter(const char* name) {
+  SpanTree& t = tree();
+  SpanNode& parent = t.nodes[static_cast<std::size_t>(t.current)];
+  for (std::int32_t child = parent.first_child; child != -1;
+       child = t.nodes[static_cast<std::size_t>(child)].next_sibling) {
+    const SpanNode& node = t.nodes[static_cast<std::size_t>(child)];
+    if (node.name == name || std::strcmp(node.name, name) == 0) {
+      t.current = child;
+      return child;
+    }
+  }
+  const auto id = static_cast<std::int32_t>(t.nodes.size());
+  SpanNode node;
+  node.name = name;
+  node.parent = t.current;
+  node.next_sibling = parent.first_child;
+  t.nodes.push_back(node);  // may invalidate `parent`
+  t.nodes[static_cast<std::size_t>(node.parent)].first_child = id;
+  t.current = id;
+  return id;
+}
+
+void exit(std::int32_t token, std::int64_t elapsed_ns) noexcept {
+  SpanTree& t = tree();
+  SpanNode& node = t.nodes[static_cast<std::size_t>(token)];
+  ++node.calls;
+  node.total_ns += elapsed_ns < 0 ? 0 : elapsed_ns;
+  t.current = node.parent;
+  t.dirty = true;
+}
+
+}  // namespace profile_detail
+
+void profile_drain_thread() {
+  SpanTree& t = tree();
+  if (!t.dirty) return;
+  t.dirty = false;
+  std::string path;
+  path.reserve(64);
+  drain_node(t, 0, path, Registry::global());
+}
+
+void profile_reset_thread() noexcept {
+  SpanTree& t = tree();
+  for (SpanNode& node : t.nodes) {
+    node.calls = 0;
+    node.total_ns = 0;
+  }
+  t.dirty = false;
+}
+
+// ---- snapshot-side reconstruction --------------------------------------
+
+namespace {
+
+constexpr std::string_view kCallsPrefix = "profile.";
+constexpr std::string_view kCallsSuffix = ".calls";
+
+// Maps "profile.<path>.calls" -> <path>; empty when the name is not a span
+// counter.
+std::string span_path_of(const std::string& name) {
+  if (name.size() <= kCallsPrefix.size() + kCallsSuffix.size()) return {};
+  if (name.compare(0, kCallsPrefix.size(), kCallsPrefix) != 0) return {};
+  if (name.compare(name.size() - kCallsSuffix.size(), kCallsSuffix.size(),
+                   kCallsSuffix) != 0)
+    return {};
+  return name.substr(kCallsPrefix.size(),
+                     name.size() - kCallsPrefix.size() - kCallsSuffix.size());
+}
+
+}  // namespace
+
+std::vector<ProfileSpanRow> profile_attribution(const Snapshot& snapshot) {
+  std::vector<ProfileSpanRow> rows;
+  std::int64_t root_total = 0;
+  for (const auto& [name, calls] : snapshot.exec_counters) {
+    std::string path = span_path_of(name);
+    if (path.empty()) continue;
+    ProfileSpanRow row;
+    row.calls = calls;
+    auto it = snapshot.timings.find("profile." + path + ".ns");
+    if (it != snapshot.timings.end()) row.total_ns = it->second.sum;
+    const bool is_root = path.find('/') == std::string::npos;
+    if (is_root) root_total += row.total_ns;
+    row.path = std::move(path);
+    rows.push_back(std::move(row));
+  }
+  if (root_total > 0) {
+    for (ProfileSpanRow& row : rows)
+      row.share = static_cast<double>(row.total_ns) /
+                  static_cast<double>(root_total);
+  }
+  // exec_counters is a std::map, so rows are already path-sorted.
+  return rows;
+}
+
+// ---- Chrome exporter ---------------------------------------------------
+
+namespace {
+
+// Sparse tree rebuilt from the flat rows for timeline layout.
+struct ChromeNode {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::int64_t total_ns = 0;
+  std::map<std::string, ChromeNode> children;  // keyed by name, sorted
+};
+
+void emit_chrome(JsonWriter& writer, const ChromeNode& node,
+                 std::int64_t start_us, const std::string& path) {
+  // Synthetic stacked timeline: a node spans [start_us, start_us + dur);
+  // its children are laid end to end from its own start. Durations round
+  // up to 1us so every recorded span stays visible (and dur > 0, which the
+  // schema checker requires).
+  const std::int64_t dur_us = std::max<std::int64_t>(1, node.total_ns / 1000);
+  writer.begin_object();
+  writer.key("name").value(node.name);
+  writer.key("cat").value("profile");
+  writer.key("ph").value("X");
+  writer.key("pid").value(std::int64_t{0});
+  writer.key("tid").value(std::int64_t{0});
+  writer.key("ts").value(start_us);
+  writer.key("dur").value(dur_us);
+  writer.key("args").begin_object();
+  writer.key("start").value(std::to_string(start_us));
+  writer.key("calls").value(node.calls);
+  writer.key("path").value(path);
+  writer.end_object();
+  writer.end_object();
+  std::int64_t cursor = start_us;
+  for (const auto& [name, child] : node.children) {
+    emit_chrome(writer, child, cursor, path + "/" + name);
+    cursor += std::max<std::int64_t>(1, child.total_ns / 1000);
+  }
+}
+
+}  // namespace
+
+void write_profile_chrome_trace(std::ostream& os, const Snapshot& snapshot) {
+  ChromeNode root;
+  for (const ProfileSpanRow& row : profile_attribution(snapshot)) {
+    ChromeNode* node = &root;
+    std::size_t begin = 0;
+    while (begin <= row.path.size()) {
+      std::size_t end = row.path.find('/', begin);
+      if (end == std::string::npos) end = row.path.size();
+      std::string component = row.path.substr(begin, end - begin);
+      ChromeNode& child = node->children[component];
+      child.name = std::move(component);
+      node = &child;
+      begin = end + 1;
+    }
+    node->calls = row.calls;
+    node->total_ns = row.total_ns;
+  }
+  JsonWriter writer(os);
+  writer.begin_object();
+  writer.key("traceEvents").begin_array();
+  std::int64_t cursor = 0;
+  for (const auto& [name, child] : root.children) {
+    emit_chrome(writer, child, cursor, name);
+    cursor += std::max<std::int64_t>(1, child.total_ns / 1000);
+  }
+  writer.end_array();
+  writer.key("displayTimeUnit").value("ms");
+  writer.end_object();
+  os << "\n";
+}
+
+void save_profile_chrome_trace(const std::string& path,
+                               const Snapshot& snapshot) {
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("save_profile_chrome_trace: cannot open " + path);
+  write_profile_chrome_trace(os, snapshot);
+  if (!os)
+    throw std::runtime_error("save_profile_chrome_trace: write failed for " +
+                             path);
+}
+
+}  // namespace minmach::obs

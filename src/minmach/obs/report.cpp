@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "minmach/obs/json.hpp"
+#include "minmach/obs/profile.hpp"
 
 namespace minmach::obs {
 
@@ -16,6 +17,12 @@ std::string ratio6(std::uint64_t numerator, std::uint64_t denominator) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.6f",
                 static_cast<double>(numerator) / static_cast<double>(denominator));
+  return buffer;
+}
+
+std::string share6(double share) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", share);
   return buffer;
 }
 
@@ -101,6 +108,32 @@ void RunReport::write_json(std::ostream& os) const {
   writer.key("metrics").begin_object();
   write_metrics(writer, metrics);
   writer.end_object();
+  if (profiled) {
+    // Perf-attribution sections (DESIGN.md §13): wall-clock data, present
+    // only on --profile on runs so default reports stay byte-identical.
+    writer.key("profile").begin_array();
+    for (const ProfileSpanRow& row : profile_attribution(metrics)) {
+      writer.begin_object();
+      writer.key("path").value(row.path);
+      writer.key("calls").value(row.calls);
+      writer.key("total_ns").value(row.total_ns);
+      writer.key("share").value(share6(row.share));
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.key("latency").begin_object();
+    for (const auto& [name, summary] : latencies) {
+      writer.key(name).begin_object();
+      writer.key("count").value(summary.count);
+      writer.key("sum").value(summary.sum);
+      writer.key("p50").value(summary.p50);
+      writer.key("p90").value(summary.p90);
+      writer.key("p99").value(summary.p99);
+      writer.key("max").value(summary.max);
+      writer.end_object();
+    }
+    writer.end_object();
+  }
   writer.end_object();
 }
 

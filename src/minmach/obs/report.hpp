@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "minmach/obs/histogram.hpp"
 #include "minmach/obs/metrics.hpp"
 
 namespace minmach::obs {
@@ -44,6 +45,17 @@ struct RunReport {
   std::vector<ReportTable> tables;
   std::vector<ReportCheck> checks;
   Snapshot metrics;
+  // Perf-attribution sections (DESIGN.md §13). Emitted only when the run
+  // was profiled (bench::Run --profile on): the "profile" section lists
+  // span paths with call counts, inclusive wall ns, and the share of the
+  // root-span total; the "latency" section carries p50/p90/p99 summaries
+  // from the latency registry. Both sections hold wall-clock data, so
+  // un-profiled reports (the determinism harness's inputs) omit them
+  // entirely and stay byte-identical; a profiled report's OTHER sections
+  // still match the un-profiled ones (obs_schema_check --baseline-report
+  // enforces that equality).
+  bool profiled = false;
+  std::map<std::string, LatencySummary> latencies;
 
   [[nodiscard]] bool all_checks_ok() const {
     for (const ReportCheck& check : checks)

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "minmach/obs/metrics.hpp"
+#include "minmach/obs/profile.hpp"
 #include "minmach/obs/trace.hpp"
 #include "minmach/util/arena.hpp"
 
@@ -120,6 +121,7 @@ JobId Simulator::running_on(std::size_t machine) const {
 }
 
 void Simulator::deliver_events_at_now() {
+  obs::ProfileSpan span("sim_dispatch");
   const bool tracing = obs::trace_enabled();
   // 1. Completions among running jobs.
   for (std::size_t m = 0; m < running_.size(); ++m) {
@@ -216,6 +218,7 @@ Rat Simulator::next_event_time(const Rat& horizon) {
 }
 
 void Simulator::advance_to(const Rat& t) {
+  obs::ProfileSpan profile_span("sim_advance");
   const bool tracing = obs::trace_enabled();
   // A job that was processed in the previous slice, still has work left, but
   // does not run in this slice was preempted; one that resumes on a machine

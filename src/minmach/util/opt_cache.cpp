@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "minmach/obs/metrics.hpp"
+#include "minmach/obs/profile.hpp"
 
 namespace minmach::util {
 
@@ -53,6 +54,7 @@ std::size_t OptCache::capacity() const { return sets_ * kWays * kShards; }
 
 std::optional<std::int64_t> OptCache::lookup(const Digest128& fp,
                                              std::int64_t machines) {
+  obs::ProfileSpan span("cache_lookup");
   if (sets_ == 0) return std::nullopt;
   const std::uint64_t hash = slot_hash(fp, machines);
   Shard& shard = shards_[hash >> 60];

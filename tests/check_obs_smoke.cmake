@@ -45,4 +45,35 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "obs_schema_check rejected the artifacts (rc=${rc})")
 endif()
+
+# Profiled run (DESIGN.md §13): same driver with --profile on must produce a
+# report carrying the profile/latency sections (with span attribution) and a
+# profile Chrome trace, while agreeing byte-for-byte with the un-profiled
+# report outside those sections.
+set(profile_report ${CMAKE_CURRENT_BINARY_DIR}/obs_smoke_profile_report.json)
+set(profile_chrome ${CMAKE_CURRENT_BINARY_DIR}/obs_smoke_profile_chrome.json)
+execute_process(
+  COMMAND ${DRIVER} ${args} --report=${profile_report} --profile=on
+          --profile-chrome=${profile_chrome}
+  OUTPUT_VARIABLE driver_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${DRIVER} --profile=on exited with ${rc}:\n${driver_out}")
+endif()
+execute_process(
+  COMMAND ${CHECKER} --report=${profile_report} --require-profile=6
+          --baseline-report=${report} --chrome=${profile_chrome}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_schema_check rejected the profiled artifacts (rc=${rc})")
+endif()
+
+# Flag validation: a malformed --profile value must exit 2 before any work.
+execute_process(
+  COMMAND ${DRIVER} ${args} --profile=bogus
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--profile=bogus should exit 2, got ${rc}")
+endif()
 message(STATUS "observability artifacts validated")

@@ -5,6 +5,13 @@
 //   obs_schema_check --trace=FILE    validates a JSONL trace
 //   obs_schema_check --chrome=FILE   validates a Chrome trace_event file
 //
+// Profiled-report extras (DESIGN.md §13):
+//   --require-profile=N      the report must carry a "profile" section with
+//                            at least N span rows (attribution present)
+//   --baseline-report=FILE   the report must equal FILE outside the
+//                            "profile"/"latency" sections (the --profile on
+//                            vs off non-exec byte-identity contract)
+//
 // Any combination may be given; exits non-zero with a diagnostic on the
 // first violation. Beyond structure, it checks the exactness contract:
 // rational-looking string fields must be in canonical form (round-trip
@@ -70,7 +77,128 @@ void check_canonical_rational(const std::string& text,
   }
 }
 
-void check_report(const std::string& path) {
+// Fixed-precision decimal like the report writer's share fields: optional
+// '-', digits, '.', exactly six digits.
+bool looks_fixed6(const std::string& text) {
+  const std::size_t dot = text.find('.');
+  if (dot == std::string::npos || text.size() - dot - 1 != 6) return false;
+  std::size_t i = text[0] == '-' ? 1 : 0;
+  if (i == dot) return false;
+  for (; i < text.size(); ++i) {
+    if (i == dot) continue;
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+  }
+  return true;
+}
+
+void check_integer(const JsonValue* value, const std::string& where) {
+  if (value == nullptr || !value->is_number() ||
+      value->literal.find_first_of(".eE") != std::string::npos)
+    fail(where + " is not an integer");
+}
+
+// Structural + ordering checks on the profiled report sections.
+void check_profile_sections(const JsonValue& v, std::int64_t require_spans) {
+  const JsonValue* profile = v.find("profile");
+  const JsonValue* latency = v.find("latency");
+  if (require_spans > 0 && profile == nullptr)
+    fail("report: \"profile\" section required but absent (run the driver "
+         "with --profile on)");
+  if (profile != nullptr) {
+    if (!profile->is_array()) fail("report: \"profile\" must be an array");
+    if (static_cast<std::int64_t>(profile->items.size()) < require_spans)
+      fail("report: profile has " + std::to_string(profile->items.size()) +
+           " spans, need >= " + std::to_string(require_spans));
+    for (const JsonValue& row : profile->items) {
+      const JsonValue* span_path = row.find("path");
+      if (span_path == nullptr || !span_path->is_string() ||
+          span_path->text.empty())
+        fail("report profile row: missing \"path\"");
+      check_integer(row.find("calls"),
+                    "profile \"" + span_path->text + "\" calls");
+      check_integer(row.find("total_ns"),
+                    "profile \"" + span_path->text + "\" total_ns");
+      const JsonValue* share = row.find("share");
+      if (share == nullptr || !share->is_string() ||
+          !looks_fixed6(share->text))
+        fail("profile \"" + span_path->text +
+             "\": share must be a %.6f string");
+    }
+  }
+  if (latency != nullptr) {
+    if (!latency->is_object()) fail("report: \"latency\" must be an object");
+    for (const auto& [name, summary] : latency->members) {
+      if (name.rfind("hist.", 0) != 0)
+        fail("latency \"" + name + "\": names must carry the hist. prefix");
+      for (const char* key : {"count", "sum", "p50", "p90", "p99", "max"})
+        check_integer(summary.find(key),
+                      "latency \"" + name + "\" " + key);
+      const double p50 = summary.find("p50")->number;
+      const double p90 = summary.find("p90")->number;
+      const double p99 = summary.find("p99")->number;
+      const double max = summary.find("max")->number;
+      if (!(p50 <= p90 && p90 <= p99 && p99 <= max))
+        fail("latency \"" + name + "\": percentile ordering violated");
+    }
+  }
+}
+
+// Deep semantic equality of two parsed JSON values (numbers by literal
+// text, so "1" != "1.0" -- the writer is deterministic, a byte-level
+// difference outside the stripped sections is a real difference).
+bool same_value(const JsonValue& a, const JsonValue& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case JsonValue::Kind::kNull: return true;
+    case JsonValue::Kind::kBool: return a.boolean == b.boolean;
+    case JsonValue::Kind::kNumber: return a.literal == b.literal;
+    case JsonValue::Kind::kString: return a.text == b.text;
+    case JsonValue::Kind::kArray:
+      if (a.items.size() != b.items.size()) return false;
+      for (std::size_t i = 0; i < a.items.size(); ++i)
+        if (!same_value(a.items[i], b.items[i])) return false;
+      return true;
+    case JsonValue::Kind::kObject:
+      if (a.members.size() != b.members.size()) return false;
+      for (std::size_t i = 0; i < a.members.size(); ++i) {
+        if (a.members[i].first != b.members[i].first) return false;
+        if (!same_value(a.members[i].second, b.members[i].second))
+          return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+// Checks the non-exec identity contract: `path` equals `baseline_path`
+// everywhere outside the "profile"/"latency" sections.
+void check_report_baseline(const std::string& path,
+                           const std::string& baseline_path) {
+  JsonValue a = parse_json(slurp(path));
+  JsonValue b = parse_json(slurp(baseline_path));
+  if (!a.is_object() || !b.is_object())
+    fail("baseline comparison: both reports must be objects");
+  auto strip = [](JsonValue& v) {
+    std::erase_if(v.members, [](const auto& member) {
+      return member.first == "profile" || member.first == "latency";
+    });
+  };
+  strip(a);
+  strip(b);
+  if (a.members.size() != b.members.size())
+    fail("report differs from baseline outside profile/latency: "
+         "different section sets");
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    if (a.members[i].first != b.members[i].first ||
+        !same_value(a.members[i].second, b.members[i].second))
+      fail("report differs from baseline outside profile/latency in \"" +
+           a.members[i].first + "\"");
+  }
+  std::cout << "report baseline ok: " << path << " == " << baseline_path
+            << " outside profile/latency\n";
+}
+
+void check_report(const std::string& path, std::int64_t require_spans) {
   JsonValue v = parse_json(slurp(path));
   if (!v.is_object()) fail("report is not a JSON object");
   const JsonValue* schema = v.find("schema");
@@ -129,6 +257,7 @@ void check_report(const std::string& path) {
         value.literal.find_first_of(".eE") != std::string::npos)
       fail("report counter \"" + name + "\" is not an integer");
   }
+  check_profile_sections(v, require_spans);
   std::cout << "report ok: " << path << " ("
             << checks->items.size() << " checks, "
             << metrics->find("counters")->members.size() << " counters)\n";
@@ -206,10 +335,15 @@ int main(int argc, char** argv) {
   const std::string report = cli.get_string("report", "");
   const std::string trace = cli.get_string("trace", "");
   const std::string chrome = cli.get_string("chrome", "");
+  const std::int64_t require_profile = cli.get_int("require-profile", 0);
+  const std::string baseline_report = cli.get_string("baseline-report", "");
   cli.check_unknown();
   if (report.empty() && trace.empty() && chrome.empty())
     fail("nothing to check: pass --report, --trace, and/or --chrome");
-  if (!report.empty()) check_report(report);
+  if ((require_profile > 0 || !baseline_report.empty()) && report.empty())
+    fail("--require-profile/--baseline-report need --report");
+  if (!report.empty()) check_report(report, require_profile);
+  if (!baseline_report.empty()) check_report_baseline(report, baseline_report);
   if (!trace.empty()) check_trace(trace);
   if (!chrome.empty()) check_chrome(chrome);
   return 0;

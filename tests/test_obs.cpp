@@ -221,6 +221,8 @@ TEST(Metrics, ExecClassMetricsAreSegregatedFromSemanticOnes) {
   EXPECT_TRUE(is_exec_metric("mem.heap_allocs"));
   EXPECT_TRUE(is_exec_metric("simd.lanes_used"));
   EXPECT_TRUE(is_exec_metric("simd.scalar_spills"));
+  EXPECT_TRUE(is_exec_metric("profile.opt_search/probe.calls"));
+  EXPECT_TRUE(is_exec_metric("hist.probe_ns"));
   EXPECT_FALSE(is_exec_metric("adversary.case1"));
   EXPECT_FALSE(is_exec_metric("sim.jobs"));
   EXPECT_FALSE(is_exec_metric("test.semantic"));

@@ -1,0 +1,342 @@
+// Tests for the perf-attribution layer (DESIGN.md §13): HDR latency
+// histogram bucket boundaries and percentiles, commutative merges, the
+// hierarchical span profiler's tree/drain/attribution pipeline, and the
+// profiled sections of run reports.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "minmach/obs/histogram.hpp"
+#include "minmach/obs/json.hpp"
+#include "minmach/obs/metrics.hpp"
+#include "minmach/obs/profile.hpp"
+#include "minmach/obs/report.hpp"
+
+namespace minmach::obs {
+namespace {
+
+// Scoped profiling with guaranteed cleanup: tests must never leak an
+// enabled profiler (or dirty span trees) into later tests.
+struct ProfilingScope {
+  ProfilingScope() {
+    Registry::global().reset();
+    set_profiling(true);
+  }
+  ~ProfilingScope() {
+    set_profiling(false);
+    profile_reset_thread();
+    Registry::global().reset();
+  }
+};
+
+// ---- latency histogram buckets -----------------------------------------
+
+TEST(LatencyHistogram, BucketIndexExactBelowSixteen) {
+  for (std::int64_t v = 0; v < LatencyHistogram::kSub; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper(static_cast<int>(v)), v);
+  }
+  EXPECT_EQ(LatencyHistogram::bucket_index(-5), 0);  // negatives clamp
+}
+
+TEST(LatencyHistogram, BucketEdgesOneBelowAndOneAbove) {
+  // First octave above the linear range: [16,31] map one-to-one.
+  EXPECT_EQ(LatencyHistogram::bucket_index(15), 15);
+  EXPECT_EQ(LatencyHistogram::bucket_index(16), 16);
+  EXPECT_EQ(LatencyHistogram::bucket_index(17), 17);
+  EXPECT_EQ(LatencyHistogram::bucket_index(31), 31);
+  // Next octave: two values per bucket. 32 and 33 share a bucket whose
+  // inclusive upper edge is 33; 34 starts the next bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_index(32), 32);
+  EXPECT_EQ(LatencyHistogram::bucket_index(33), 32);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(32), 33);
+  EXPECT_EQ(LatencyHistogram::bucket_index(34), 33);
+  // Around a large power of two: one below closes the previous bucket.
+  const std::int64_t big = std::int64_t{1} << 40;
+  const int below = LatencyHistogram::bucket_index(big - 1);
+  const int at = LatencyHistogram::bucket_index(big);
+  EXPECT_EQ(at, below + 1);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(below), big - 1);
+  // Relative bucket width stays under 1/16 everywhere above the linear
+  // range.
+  for (std::int64_t v : {std::int64_t{100}, std::int64_t{12345},
+                         std::int64_t{1} << 30, std::int64_t{1} << 50}) {
+    const std::int64_t upper =
+        LatencyHistogram::bucket_upper(LatencyHistogram::bucket_index(v));
+    EXPECT_GE(upper, v);
+    EXPECT_LT(static_cast<double>(upper - v), static_cast<double>(v) / 16.0);
+  }
+}
+
+TEST(LatencyHistogram, Int64MaxSaturation) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(INT64_MAX),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(LatencyHistogram::kBuckets - 1),
+            INT64_MAX);
+  LatencyHistogram h;
+  h.record(INT64_MAX);
+  h.record(INT64_MAX);  // sum saturates instead of wrapping
+  const LatencyData data = h.data();
+  EXPECT_EQ(data.count, 2u);
+  EXPECT_EQ(data.sum, INT64_MAX);
+  EXPECT_EQ(data.max, INT64_MAX);
+  EXPECT_EQ(h.percentile(0.5), INT64_MAX);
+}
+
+TEST(LatencyHistogram, PercentilesExactInLinearRangeBoundedAbove) {
+  LatencyHistogram h;
+  for (std::int64_t v = 1; v <= 10; ++v) h.record(v);
+  // Values below kSub are bucketed exactly, so percentiles are exact.
+  EXPECT_EQ(h.percentile(0.5), 5);
+  EXPECT_EQ(h.percentile(0.9), 9);
+  EXPECT_EQ(h.percentile(1.0), 10);
+  LatencySummary summary = h.summary();
+  EXPECT_EQ(summary.count, 10u);
+  EXPECT_EQ(summary.sum, 55);
+  EXPECT_EQ(summary.p50, 5);
+  EXPECT_EQ(summary.max, 10);
+  // Larger samples: percentile is clamped to the observed max and ordered.
+  LatencyHistogram big;
+  for (int i = 0; i < 100; ++i) big.record(1000 + i * 13);
+  summary = big.summary();
+  EXPECT_LE(summary.p50, summary.p90);
+  EXPECT_LE(summary.p90, summary.p99);
+  EXPECT_LE(summary.p99, summary.max);
+  EXPECT_EQ(summary.max, 1000 + 99 * 13);
+  EXPECT_EQ(LatencyHistogram().percentile(0.5), 0);  // empty -> 0
+}
+
+TEST(LatencyHistogram, MergeIsCommutativeAndThreadCountInvariant) {
+  // One multiset of samples, split across 1, 2, and 4 "threads": any merge
+  // order must produce identical buckets.
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 400; ++i)
+    samples.push_back((i * 7919) % 100000);  // spread over many octaves
+  auto merged = [&samples](int parts, bool reverse) {
+    std::vector<LatencyHistogram> shards(parts);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      shards[i % parts].record(samples[i]);
+    LatencyHistogram out;
+    if (reverse) {
+      for (int p = parts - 1; p >= 0; --p) out.merge(shards[p]);
+    } else {
+      for (int p = 0; p < parts; ++p) out.merge(shards[p]);
+    }
+    return out.data();
+  };
+  const LatencyData reference = merged(1, false);
+  EXPECT_EQ(merged(2, false), reference);
+  EXPECT_EQ(merged(2, true), reference);
+  EXPECT_EQ(merged(4, false), reference);
+  EXPECT_EQ(merged(4, true), reference);
+
+  // Concurrent recording into ONE histogram: relaxed atomics, commutative
+  // aggregation -- same buckets as the serial reference.
+  LatencyHistogram shared;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&shared, &samples, w] {
+      for (std::size_t i = w; i < samples.size(); i += 4)
+        shared.record(samples[i]);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(shared.data(), reference);
+}
+
+TEST(LatencyHistogram, ScopedLatencyArmsOnlyWhenProfiling) {
+  LatencyRegistry::global().reset();
+  set_profiling(false);
+  { ScopedLatency latency("hist.test_off_ns"); }
+  EXPECT_EQ(LatencyRegistry::global().summaries().count("hist.test_off_ns"),
+            0u);
+  set_profiling(true);
+  { ScopedLatency latency("hist.test_on_ns"); }
+  set_profiling(false);
+  const auto summaries = LatencyRegistry::global().summaries();
+  ASSERT_EQ(summaries.count("hist.test_on_ns"), 1u);
+  EXPECT_EQ(summaries.at("hist.test_on_ns").count, 1u);
+  LatencyRegistry::global().reset();
+  // reset() zeroes; empty histograms drop out of summaries().
+  EXPECT_EQ(LatencyRegistry::global().summaries().size(), 0u);
+}
+
+// ---- span profiler ------------------------------------------------------
+
+TEST(Profile, DisabledSpansAreNoOps) {
+  Registry& registry = Registry::global();
+  registry.reset();
+  set_profiling(false);
+  {
+    ProfileSpan outer("noop_outer");
+    ProfileSpan inner("noop_inner");
+  }
+  Snapshot snap = registry.snapshot();
+  for (const auto& [name, value] : snap.exec_counters) {
+    EXPECT_EQ(name.find("noop_"), std::string::npos) << name;
+    (void)value;
+  }
+  registry.reset();
+}
+
+TEST(Profile, NestedSpansDrainToSlashJoinedPaths) {
+  ProfilingScope scope;
+  {
+    ProfileSpan a("alpha");
+    {
+      ProfileSpan b("beta");
+      { ProfileSpan c("gamma"); }
+      { ProfileSpan c("gamma"); }  // same node, second call
+    }
+  }
+  { ProfileSpan a("alpha"); }
+  Snapshot snap = Registry::global().snapshot();
+  EXPECT_EQ(snap.exec_counters.at("profile.alpha.calls"), 2u);
+  EXPECT_EQ(snap.exec_counters.at("profile.alpha/beta.calls"), 1u);
+  EXPECT_EQ(snap.exec_counters.at("profile.alpha/beta/gamma.calls"), 2u);
+  // Durations land in the timings section (excluded from deterministic
+  // serialization), never in deterministic histograms.
+  EXPECT_EQ(snap.timings.count("profile.alpha.ns"), 1u);
+  EXPECT_EQ(snap.exec_histograms.count("profile.alpha.ns"), 0u);
+  const std::string deterministic = snap.to_json();
+  EXPECT_EQ(deterministic.find("profile."), std::string::npos);
+}
+
+TEST(Profile, SpanCountsAreThreadCountInvariant) {
+  // The same 12 tasks, each opening the same span pattern, at 1 vs 4
+  // workers: drained span counts must be identical (the determinism
+  // contract that lets profiled runs still byte-diff their count totals).
+  auto run_at = [](std::size_t threads) {
+    Registry::global().reset();
+    set_profiling(true);
+    bench::parallel_map(12, threads, [](std::size_t i) {
+      ProfileSpan task("pm_task");
+      for (std::size_t k = 0; k <= i % 3; ++k) {
+        ProfileSpan inner("pm_inner");
+      }
+      return i;
+    });
+    set_profiling(false);
+    Snapshot snap = Registry::global().snapshot();
+    std::map<std::string, std::uint64_t> out;
+    for (const auto& [name, value] : snap.exec_counters) {
+      if (name.rfind("profile.pm_", 0) == 0 &&
+          name.size() > 6 && name.compare(name.size() - 6, 6, ".calls") == 0)
+        out[name] = value;
+    }
+    Registry::global().reset();
+    return out;
+  };
+  const auto serial = run_at(1);
+  const auto parallel = run_at(4);
+  ASSERT_EQ(serial.size(), 2u);
+  EXPECT_EQ(serial.at("profile.pm_task.calls"), 12u);
+  EXPECT_EQ(serial.at("profile.pm_task/pm_inner.calls"), 24u);  // sum of (i%3)+1
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Profile, AttributionRowsAndShares) {
+  Snapshot snap;
+  snap.exec_counters["profile.build.calls"] = 2;
+  snap.exec_counters["profile.search.calls"] = 4;
+  snap.exec_counters["profile.search/probe.calls"] = 9;
+  snap.exec_counters["oracle.probes"] = 9;  // not a span counter: ignored
+  HistogramData ns;
+  ns.count = 1;
+  ns.sum = 300;
+  snap.timings["profile.build.ns"] = ns;
+  ns.sum = 700;
+  snap.timings["profile.search.ns"] = ns;
+  ns.sum = 650;
+  snap.timings["profile.search/probe.ns"] = ns;
+  const std::vector<ProfileSpanRow> rows = profile_attribution(snap);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].path, "build");
+  EXPECT_EQ(rows[0].calls, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].share, 0.3);  // 300 / (300 + 700 root total)
+  EXPECT_EQ(rows[1].path, "search");
+  EXPECT_DOUBLE_EQ(rows[1].share, 0.7);
+  EXPECT_EQ(rows[2].path, "search/probe");
+  EXPECT_EQ(rows[2].total_ns, 650);
+  EXPECT_DOUBLE_EQ(rows[2].share, 0.65);  // nested: share of root total
+}
+
+TEST(Profile, ChromeTraceNestsSpansAsDurationEvents) {
+  Snapshot snap;
+  snap.exec_counters["profile.outer.calls"] = 1;
+  snap.exec_counters["profile.outer/inner.calls"] = 3;
+  HistogramData ns;
+  ns.count = 1;
+  ns.sum = 5'000'000;  // 5 ms
+  snap.timings["profile.outer.ns"] = ns;
+  ns.sum = 2'000'000;
+  snap.timings["profile.outer/inner.ns"] = ns;
+  std::ostringstream os;
+  write_profile_chrome_trace(os, snap);
+  const JsonValue v = parse_json(os.str());
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items.size(), 2u);
+  const JsonValue& outer = events->items[0];
+  const JsonValue& inner = events->items[1];
+  EXPECT_EQ(outer.find("name")->text, "outer");
+  EXPECT_EQ(outer.find("ph")->text, "X");
+  EXPECT_EQ(outer.find("dur")->literal, "5000");
+  EXPECT_EQ(inner.find("name")->text, "inner");
+  EXPECT_EQ(inner.find("args")->find("path")->text, "outer/inner");
+  // Child starts at the parent's timestamp (stacked synthetic timeline).
+  EXPECT_EQ(outer.find("ts")->literal, inner.find("ts")->literal);
+}
+
+TEST(Profile, ReportSectionsOnlyWhenProfiled) {
+  RunReport report;
+  report.experiment = "t";
+  report.claim = "c";
+  report.metrics.exec_counters["profile.root.calls"] = 1;
+  HistogramData ns;
+  ns.count = 1;
+  ns.sum = 42;
+  report.metrics.timings["profile.root.ns"] = ns;
+  LatencySummary latency;
+  latency.count = 3;
+  latency.sum = 60;
+  latency.p50 = 10;
+  latency.p90 = 30;
+  latency.p99 = 30;
+  latency.max = 30;
+  report.latencies["hist.test_ns"] = latency;
+
+  report.profiled = false;
+  const std::string plain = report.to_json();
+  EXPECT_EQ(plain.find("\"profile\""), std::string::npos);
+  EXPECT_EQ(plain.find("\"latency\""), std::string::npos);
+
+  report.profiled = true;
+  const std::string profiled = report.to_json();
+  EXPECT_NE(profiled.find("\"profile\""), std::string::npos);
+  EXPECT_NE(profiled.find("\"latency\""), std::string::npos);
+  EXPECT_NE(profiled.find("\"share\": \"1.000000\""), std::string::npos);
+  EXPECT_NE(profiled.find("\"p90\": 30"), std::string::npos);
+  // The profiled document is the plain one plus exactly the two wall-clock
+  // sections: stripping them restores the plain serialization member by
+  // member (the byte-identity contract obs_schema_check enforces end to
+  // end with --baseline-report).
+  const JsonValue plain_doc = parse_json(plain);
+  JsonValue profiled_doc = parse_json(profiled);
+  ASSERT_EQ(profiled_doc.members.size(), plain_doc.members.size() + 2);
+  std::erase_if(profiled_doc.members, [](const auto& member) {
+    return member.first == "profile" || member.first == "latency";
+  });
+  ASSERT_EQ(profiled_doc.members.size(), plain_doc.members.size());
+  for (std::size_t i = 0; i < plain_doc.members.size(); ++i) {
+    EXPECT_EQ(profiled_doc.members[i].first, plain_doc.members[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace minmach::obs
