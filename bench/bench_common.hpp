@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "minmach/core/bounds.hpp"
 #include "minmach/obs/histogram.hpp"
 #include "minmach/obs/json.hpp"
 #include "minmach/obs/metrics.hpp"
@@ -53,6 +54,20 @@ inline void require(bool condition, const std::string& message) {
 // Default entry budget for --cache-capacity (~3 MB of verdicts).
 inline constexpr std::int64_t kDefaultCacheCapacity = 1 << 16;
 
+// Shared validation for the {on,off} driver flags (--cache, --profile,
+// --bounds): returns true for "on", and exits 2 with the uniform
+// diagnostic on anything else -- one implementation instead of a
+// copy-pasted check per flag.
+inline bool parse_onoff(Cli& cli, const std::string& flag, bool default_on) {
+  const std::string value = cli.get_string(flag, default_on ? "on" : "off");
+  if (value != "on" && value != "off") {
+    std::cerr << "error: --" << flag << " must be 'on' or 'off' (got '"
+              << value << "')\n";
+    std::exit(2);
+  }
+  return value == "on";
+}
+
 // Version tag for the BENCH_*.json artifacts the drivers emit. perfdiff
 // refuses artifacts without it (schema drift would otherwise surface as
 // spurious "regressions" when a metric is renamed).
@@ -78,10 +93,11 @@ inline void write_bench_stamp(obs::JsonWriter& json) {
 // destruction -- writes the machine-readable run report: config, result
 // tables, measured-vs-bound checks, and a metrics snapshot. The report
 // excludes wall-clock timings and reproducibility-neutral flags (--threads,
-// --report, --trace, --cache, --cache-capacity, --simd), so its bytes are
-// identical at any thread count, with the OPT cache on or off, and under
-// any SIMD dispatch mode (cache/SIMD state only moves execution-class
-// metrics, which snapshots segregate).
+// --report, --trace, --cache, --cache-capacity, --simd, --bounds), so its
+// bytes are identical at any thread count, with the OPT cache on or off,
+// under any SIMD dispatch mode, and with the bound tier on or off
+// (cache/SIMD/bounds state only moves execution-class metrics, which
+// snapshots segregate).
 //
 // Also reads --cache {on,off} / --cache-capacity N and configures the
 // global affine-canonical OPT cache accordingly, so every driver can A/B
@@ -96,6 +112,13 @@ inline void write_bench_stamp(obs::JsonWriter& json) {
 // measures the fallback); scalar forces the portable path for differential
 // runs. Results are bit-identical across modes -- the flag only moves wall
 // clock and execution-class metrics.
+//
+// Also reads --bounds {on,off} (default off) and sets the global bound-tier
+// gate (set_bounds_tier_enabled, DESIGN.md §14). Off keeps every driver
+// measuring the exact oracle alone -- the certified sandwich would answer
+// most probes for free and collapse the legacy-vs-fast and cache A/B
+// ratios; b01_bound_tier turns it on explicitly. OPT values and verdicts
+// are identical either way.
 //
 // Also reads --profile {on,off} (default off) and arms the span profiler +
 // latency histograms (DESIGN.md §13) for the run. Profiling only ADDS the
@@ -113,14 +136,9 @@ class Run {
       sink_ = std::make_unique<obs::TraceSink>(trace_path);
       obs::TraceSink::set_global(sink_.get());
     }
-    const std::string cache_mode = cli.get_string("cache", "off");
+    const bool cache_on = parse_onoff(cli, "cache", false);
     const std::int64_t cache_capacity =
         cli.get_int("cache-capacity", kDefaultCacheCapacity);
-    if (cache_mode != "on" && cache_mode != "off") {
-      std::cerr << "error: --cache must be 'on' or 'off' (got '" << cache_mode
-                << "')\n";
-      std::exit(2);
-    }
     if (cache_capacity <= 0) {
       std::cerr << "error: --cache-capacity must be a positive entry budget "
                    "(omit the flag for the default "
@@ -128,7 +146,7 @@ class Run {
       std::exit(2);
     }
     util::OptCache::global().configure(
-        cache_mode == "on", static_cast<std::size_t>(cache_capacity));
+        cache_on, static_cast<std::size_t>(cache_capacity));
     const std::string simd_flag = cli.get_string("simd", "auto");
     util::simd::Mode simd_mode;
     if (!util::simd::parse_mode(simd_flag, &simd_mode)) {
@@ -146,13 +164,13 @@ class Run {
       std::exit(2);
     }
     util::simd::set_mode(simd_mode);
-    const std::string profile_flag = cli.get_string("profile", "off");
-    if (profile_flag != "on" && profile_flag != "off") {
-      std::cerr << "error: --profile must be 'on' or 'off' (got '"
-                << profile_flag << "')\n";
-      std::exit(2);
-    }
-    profiling_ = profile_flag == "on";
+    // Bound tier (--bounds, DESIGN.md §14): default OFF in the drivers --
+    // the library default is on, but the committed baselines, the o01/m01
+    // legacy-vs-fast ratios, and q01's cache probe-ratio check all measure
+    // the exact tier, which a sandwich that answers probes for free would
+    // collapse. b01_bound_tier A/Bs the tier explicitly.
+    set_bounds_tier_enabled(parse_onoff(cli, "bounds", false));
+    profiling_ = parse_onoff(cli, "profile", false);
     profile_chrome_path_ = cli.get_string("profile-chrome", "");
     obs::Registry::global().reset();
     obs::LatencyRegistry::global().reset();

@@ -8,6 +8,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "minmach/algos/pack_ub.hpp"
+#include "minmach/core/bounds.hpp"
 #include "minmach/core/canonical.hpp"
 #include "minmach/core/load_sweep.hpp"
 #include "minmach/core/load_sweep_simd.hpp"
@@ -522,9 +524,18 @@ struct FeasibilityOracle::Impl {
   util::Digest128 fp;
   std::uint64_t probes_executed = 0;
 
-  // Probe network (exactly one is built, per integer_mode).
+  // Probe network (exactly one is built, per integer_mode). The constructor
+  // only normalizes the instance into the net's arrays; the Horn network
+  // itself is built lazily on the first real probe (ensure_network), so an
+  // OPT answered by the bound sandwich or the OPT cache never pays for it
+  // -- the build is the single largest oracle cost (EXPERIMENTS.md P1).
+  bool network_built = false;
   OracleNet<__int128> inet;
   OracleNet<Rat> rnet;
+
+  // Bound-tier sandwich (DESIGN.md §14), computed once on first use.
+  bool sandwich_done = false;
+  BoundSandwich sandwich_cache;
 
   // flow.* counters already published, so each probe adds only its delta.
   DinicStats published;
@@ -537,6 +548,12 @@ struct FeasibilityOracle::Impl {
   bool probe(std::int64_t machines);
   std::int64_t lower_bound();
   void publish_flow_stats();
+  void ensure_network();
+  [[nodiscard]] bool bounds_active() const {
+    return options.bounds && bounds_tier_enabled();
+  }
+  const BoundSandwich& sandwich();
+  [[nodiscard]] Instance materialize() const;
 
   // Restores the default-constructed logical state (everything the public
   // constructor assumes) while keeping container storage.
@@ -553,6 +570,9 @@ struct FeasibilityOracle::Impl {
     has_fp = false;
     fp = util::Digest128{};
     probes_executed = 0;
+    network_built = false;
+    sandwich_done = false;
+    sandwich_cache = BoundSandwich{};
     inet.reset_net();
     rnet.reset_net();
     published = DinicStats{};
@@ -595,7 +615,9 @@ void FeasibilityOracle::ImplDeleter::operator()(Impl* impl) const noexcept {
 FeasibilityOracle::FeasibilityOracle(const Instance& instance,
                                      const OracleOptions& options)
     : impl_(acquire_impl()) {
-  obs::ProfileSpan span("oracle_build");
+  // Normalization only (grid conversion, density bound, fingerprint); the
+  // network build has its own span inside ensure_network().
+  obs::ProfileSpan span("oracle_norm");
   Impl& im = *impl_;
   im.options = options;
   im.empty = instance.empty();
@@ -617,7 +639,6 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
 
   const bool accel = options.simd && util::simd::active();
   const std::size_t n = instance.size();
-  BuildCounters counters;
 
   // SIMD fast path: when every field is a small integer the grid is the
   // values themselves, so the Rat event-point sort, the exact density
@@ -668,8 +689,6 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
       }
     }
     net.points.assign(ipoints.begin(), ipoints.end());
-    net.build(options.compress, counters);
-    net.graph.set_level_kernel(accel ? -1 : 0);
   } else {
     OracleNet<Rat>& net = im.rnet;
     net.accel = accel;
@@ -682,8 +701,23 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
       net.processing.push_back(job.processing);
     }
     net.points = std::move(points);
-    net.build(options.compress, counters);
-    net.graph.set_level_kernel(accel ? -1 : 0);
+  }
+  // The Horn network itself is NOT built here: ensure_network() builds it
+  // on the first probe, so an answer served by the bound sandwich or the
+  // OPT cache skips the build entirely.
+}
+
+void FeasibilityOracle::Impl::ensure_network() {
+  if (network_built || empty || !well_formed) return;
+  network_built = true;
+  obs::ProfileSpan span("oracle_build");
+  BuildCounters counters;
+  if (integer_mode) {
+    inet.build(options.compress, counters);
+    inet.graph.set_level_kernel(inet.accel ? -1 : 0);
+  } else {
+    rnet.build(options.compress, counters);
+    rnet.graph.set_level_kernel(rnet.accel ? -1 : 0);
   }
 
   obs::Registry& registry = obs::Registry::global();
@@ -696,9 +730,9 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
   }
   if (obs::trace_enabled()) {
     obs::trace_event("oracle", "build",
-                     {{"jobs", im.job_count},
+                     {{"jobs", job_count},
                       {"segments", static_cast<std::int64_t>(counters.segments)},
-                      {"integer_mode", im.integer_mode},
+                      {"integer_mode", integer_mode},
                       {"compressed", options.compress},
                       {"tree_edges",
                        static_cast<std::int64_t>(counters.tree_edges)},
@@ -706,7 +740,7 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
                        static_cast<std::int64_t>(counters.direct_edges)},
                       {"dense_edges",
                        static_cast<std::int64_t>(counters.dense_edges)},
-                      {"load_lb", im.density_lb}});
+                      {"load_lb", density_lb}});
   }
 }
 
@@ -726,7 +760,109 @@ void FeasibilityOracle::Impl::publish_flow_stats() {
   published = now;
 }
 
+// Rebuilds an Instance from the normalized per-job arrays for the packing
+// upper bound. The integer grid is the original instance under an affine
+// time rescale (denominator-lcm stretch), which preserves OPT and maps a
+// feasible witness schedule back and forth, so packing the materialized
+// instance certifies the original.
+Instance FeasibilityOracle::Impl::materialize() const {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(job_count));
+  if (integer_mode) {
+    for (std::size_t j = 0; j < inet.release.size(); ++j) {
+      // Grid values fit int64 by the try_integer_grid 62-bit guard.
+      jobs.push_back(Job{Rat(static_cast<std::int64_t>(inet.release[j])),
+                         Rat(static_cast<std::int64_t>(inet.deadline[j])),
+                         Rat(static_cast<std::int64_t>(inet.processing[j]))});
+    }
+  } else {
+    for (std::size_t j = 0; j < rnet.release.size(); ++j)
+      jobs.push_back(Job{rnet.release[j], rnet.deadline[j], rnet.processing[j]});
+  }
+  return Instance(std::move(jobs));
+}
+
+// Computes the certified sandwich lo <= OPT <= hi once and folds it into
+// the monotone verdict memo (everything below lo is infeasible by the load
+// argument, hi carries a validated schedule witness), so both the oracle's
+// own search and the query engine's bracket start pre-narrowed.
+const BoundSandwich& FeasibilityOracle::Impl::sandwich() {
+  if (sandwich_done) return sandwich_cache;
+  sandwich_done = true;
+  BoundSandwich& s = sandwich_cache;
+  if (empty || !well_formed) return s;  // degenerate {0, 0}
+  obs::ScopedLatency latency("hist.bound_ns");
+  obs::Registry& registry = obs::Registry::global();
+
+  // Lower side: pigeonhole density + sweep load bound over the already
+  // normalized arrays. Integer grids run the budgeted SIMD kernel (same as
+  // lower_bound()); rational grids take the double-prefiltered exact sweep
+  // (core/bounds.hpp) -- the all-pairs Rat sweep compounds denominators in
+  // its accumulators, which made rational lower bounds dominate sandwich
+  // wall time on the adversary families.
+  std::int64_t lo = density_lb;
+  {
+    obs::ProfileSpan span("bound_lo");
+    lo = std::max(lo, integer_mode
+                          ? inet.sweep_bound()
+                          : prefiltered_sweep_bound(rnet.release, rnet.deadline,
+                                                    rnet.processing,
+                                                    rnet.points));
+  }
+  s.certificate.density_lb = density_lb;
+  s.certificate.load_lb = lo;
+  if (options.sweep_bound && !lb_cache) lb_cache = lo;
+  lo = std::max(lo, max_infeasible + 1);
+  std::int64_t hi = min_feasible;
+
+  // A prior sandwich of the same canonical instance narrows the bracket
+  // before any packing work; every cached bracket is certified, so the
+  // intersection still contains OPT.
+  if (has_fp) {
+    if (auto cached = util::OptCache::global().lookup_bounds(fp)) {
+      if (cached->first > lo || cached->second < hi)
+        s.certificate.cache_seeded = true;
+      lo = std::max(lo, cached->first);
+      hi = std::min(hi, cached->second);
+    }
+  }
+
+  // Upper side: constructive packing witness, opened at lo so a success
+  // there pinches the sandwich outright.
+  if (lo < hi) {
+    PackUbOptions pack_options;
+    pack_options.start = lo;
+    // Integer-mode instances take the packer's direct McNaughton audit:
+    // same certificate strength as realize+validate, without building a
+    // Rat schedule on every sandwich (see PackUbOptions::audit_schedule).
+    pack_options.audit_schedule = false;
+    const PackUbResult pack = pack_upper_bound(materialize(), pack_options);
+    s.certificate.pack_machines = pack.machines;
+    s.certificate.pack = pack.witness;
+    hi = std::min(hi, pack.machines);
+  }
+
+  s.lo = lo;
+  s.hi = hi;
+  max_infeasible = std::max(max_infeasible, lo - 1);
+  min_feasible = std::min(min_feasible, hi);
+  registry.counter("bounds.computed").add();
+  if (s.pinched()) registry.counter("bounds.pinched").add();
+  registry.histogram("bounds.bracket_width").observe(hi - lo);
+  if (has_fp) util::OptCache::global().insert_bounds(fp, lo, hi);
+  if (obs::trace_enabled()) {
+    obs::trace_event("oracle", "sandwich",
+                     {{"lo", lo},
+                      {"hi", hi},
+                      {"load_lb", s.certificate.load_lb},
+                      {"pack_machines", s.certificate.pack_machines},
+                      {"cache_seeded", s.certificate.cache_seeded}});
+  }
+  return s;
+}
+
 bool FeasibilityOracle::Impl::probe(std::int64_t machines) {
+  ensure_network();
   obs::ProfileSpan span("probe");
   obs::Registry& registry = obs::Registry::global();
   registry.counter("oracle.probes").add();
@@ -782,6 +918,21 @@ bool FeasibilityOracle::feasible(std::int64_t machines) {
     obs::Registry::global().counter("oracle.memo_hits").add();
     return machines >= im.min_feasible;
   }
+  if (im.bounds_active()) {
+    // First sandwich use folds [lo, hi) into the memo, so only the
+    // triggering call lands here; later out-of-bracket probes are memo
+    // hits. Either way the answer is certified without touching Dinic.
+    const BoundSandwich& s = im.sandwich();
+    if (machines < s.lo || machines >= s.hi) {
+      obs::Registry::global().counter("bounds.probes_skipped").add();
+      if (machines >= s.hi) {
+        im.min_feasible = std::min(im.min_feasible, machines);
+        return true;
+      }
+      im.max_infeasible = std::max(im.max_infeasible, machines);
+      return false;
+    }
+  }
   if (im.has_fp) {
     if (std::optional<bool> hit =
             util::OptCache::global().lookup_feasible(im.fp, machines)) {
@@ -806,6 +957,21 @@ std::int64_t FeasibilityOracle::load_lower_bound() const {
   return impl_->lower_bound();
 }
 
+BoundSandwich FeasibilityOracle::bound_sandwich() {
+  Impl& im = *impl_;
+  if (im.empty || !im.well_formed) return {};
+  if (im.bounds_active()) return im.sandwich();
+  // Tier off: the degenerate bracket the pre-tier search used -- certified
+  // infeasible strictly below the load bound / memo floor, certified
+  // feasible at min_feasible (initially n, one job per machine).
+  BoundSandwich out;
+  out.certificate.density_lb = im.density_lb;
+  out.certificate.load_lb = im.lower_bound();
+  out.lo = std::max(out.certificate.load_lb, im.max_infeasible + 1);
+  out.hi = im.min_feasible;
+  return out;
+}
+
 std::uint64_t FeasibilityOracle::probes_executed() const {
   return impl_->probes_executed;
 }
@@ -826,6 +992,10 @@ std::int64_t FeasibilityOracle::optimal_machines() {
       return *hit;
     }
   }
+  // Bound tier: the sandwich folds into the memo, so a pinched sandwich
+  // makes both loops below vacuous (OPT returned with zero probes and no
+  // network build) and an open one pre-narrows the bracket to [lo, hi).
+  if (im.bounds_active()) (void)im.sandwich();
   obs::Registry& registry = obs::Registry::global();
   const std::int64_t lb = im.lower_bound();
 

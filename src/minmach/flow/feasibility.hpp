@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "minmach/core/bounds.hpp"
 #include "minmach/core/instance.hpp"
 #include "minmach/core/schedule.hpp"
 
@@ -51,9 +52,20 @@ struct OracleOptions {
   // OPT values, and witnesses are bit-identical either way -- only wall
   // clock and execution-class metrics move.
   bool simd = true;
+  // Bound tier (DESIGN.md §14): before touching Dinic, compute a certified
+  // sandwich lo <= OPT <= hi -- density + SIMD sweep from below
+  // (core/bounds.hpp), a validator-audited packing witness from above
+  // (algos/pack_ub.hpp). A pinched sandwich (lo == hi) answers OPT without
+  // even building the flow network; otherwise the search starts from the
+  // pre-narrowed bracket and out-of-bracket probes are answered for free.
+  // ANDed with the global runtime gate bounds_tier_enabled() (the benches
+  // default it off so baselines keep measuring the exact tier alone).
+  // Verdicts and OPT values are bit-identical either way -- both sides are
+  // certified -- only probe counts and wall clock move.
+  bool bounds = true;
 
   [[nodiscard]] static OracleOptions legacy() {
-    return {false, false, false, false};
+    return {false, false, false, false, false};
   }
 };
 
@@ -100,9 +112,19 @@ class FeasibilityOracle {
   // can be slightly below load_bound_single_interval().
   [[nodiscard]] std::int64_t load_lower_bound() const;
 
-  // Network probes this oracle actually executed (memo hits and OPT-cache
-  // hits excluded). Exposed for the query engine's speculation-overhead
-  // accounting and the cache A/B bench.
+  // The certified sandwich lo <= OPT <= hi (computed lazily on first use
+  // and folded into the verdict memo, so the oracle's own search also
+  // starts from it). With the bound tier inactive (options.bounds false or
+  // the global gate off) returns the degenerate bracket the pre-tier search
+  // effectively used -- [max(load_lower_bound(), memo floor), min known
+  // feasible] -- so callers can seed searches uniformly. Empty instance:
+  // {0, 0}.
+  [[nodiscard]] BoundSandwich bound_sandwich();
+
+  // Network probes this oracle actually executed (memo hits, OPT-cache
+  // hits, and bound-tier short-circuits excluded). Exposed for the query
+  // engine's speculation-overhead accounting and the cache/bounds A/B
+  // benches.
   [[nodiscard]] std::uint64_t probes_executed() const;
 
  private:

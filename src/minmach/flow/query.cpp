@@ -95,11 +95,21 @@ QueryStats query_optimal_machines_stats(const Instance& instance,
   // flow keeps paying off, like the sequential ascent.
   std::vector<FeasibilityOracle> lanes;
   lanes.reserve(static_cast<std::size_t>(live));
-  for (int i = 0; i < live; ++i) lanes.emplace_back(instance, options.oracle);
+  lanes.emplace_back(instance, options.oracle);
+  // Lanes 1+ never compute a sandwich of their own: lane 0's bracket below
+  // seeds the shared search, so per-lane packing work would be pure
+  // duplication. Their verdict memos still benefit through the bracket.
+  OracleOptions lane_options = options.oracle;
+  lane_options.bounds = false;
+  for (int i = 1; i < live; ++i) lanes.emplace_back(instance, lane_options);
 
-  const std::int64_t n = static_cast<std::int64_t>(instance.size());
-  std::int64_t lo = lanes[0].load_lower_bound() - 1;  // max certified infeasible
-  std::int64_t hi = n;  // min known feasible: each job alone on a machine
+  // Bracket seed: with the bound tier active this is the certified sandwich
+  // (a pinched one answers OPT before any round); with it off, the
+  // degenerate bracket reproduces the pre-tier seeding exactly --
+  // [load_lower_bound() - 1, n].
+  const BoundSandwich sandwich = lanes[0].bound_sandwich();
+  std::int64_t lo = sandwich.lo - 1;  // max certified infeasible
+  std::int64_t hi = sandwich.hi;     // min known feasible
   std::int64_t step = 1;
   bool galloping = true;
 

@@ -215,7 +215,8 @@ class ScopedTimer {
 // passes, cache traffic, speculation rounds, arithmetic and memory
 // tallies, SIMD lane usage, profiler spans, latency histograms): name
 // prefixes oracle. / flow. / cache. / speculate. / bigint. / rat. / mem. /
-// simd. / profile. / hist.. Snapshots segregate these (see file comment)
+// simd. / profile. / hist. / bounds.. Snapshots segregate these (see file
+// comment)
 // because the OPT cache makes them dependent on cache state and
 // interleaving.
 // Classification is by name, not by a flag at registration, so a counter

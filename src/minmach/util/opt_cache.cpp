@@ -88,8 +88,13 @@ void OptCache::insert(const Digest128& fp, std::int64_t machines,
     Entry* slot = nullptr;
     for (std::size_t way = 0; way < kWays; ++way) {
       Entry& entry = base[way];
-      if (entry.used && entry.machines == machines && entry.fp == fp)
-        return;  // already present (verdicts are exact, value identical)
+      if (entry.used && entry.machines == machines && entry.fp == fp) {
+        // Verdict/OPT entries are exact (value identical, refresh is a
+        // no-op); bracket entries may legitimately tighten, so the slot is
+        // updated in place rather than duplicated.
+        entry.value = value;
+        return;
+      }
       if (!entry.used && slot == nullptr) slot = &entry;
     }
     if (slot == nullptr) {
@@ -126,6 +131,21 @@ std::optional<std::int64_t> OptCache::lookup_opt(const Digest128& fp) {
 
 void OptCache::insert_opt(const Digest128& fp, std::int64_t machines) {
   insert(fp, kOptQuery, machines);
+}
+
+std::optional<std::pair<std::int64_t, std::int64_t>> OptCache::lookup_bounds(
+    const Digest128& fp) {
+  std::optional<std::int64_t> raw = lookup(fp, kBoundsQuery);
+  if (!raw) return std::nullopt;
+  return std::pair<std::int64_t, std::int64_t>{*raw >> 32, *raw & 0x7fffffff};
+}
+
+void OptCache::insert_bounds(const Digest128& fp, std::int64_t lo,
+                             std::int64_t hi) {
+  // Both halves must fit the packed slot; a bracket that does not is simply
+  // not cached (correctness never depends on a bounds entry being present).
+  if (lo < 0 || hi < lo || hi > 0x7fffffff) return;
+  insert(fp, kBoundsQuery, (lo << 32) | hi);
 }
 
 }  // namespace minmach::util

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "minmach/util/hash.hpp"
@@ -71,10 +72,21 @@ class OptCache {
   [[nodiscard]] std::optional<std::int64_t> lookup_opt(const Digest128& fp);
   void insert_opt(const Digest128& fp, std::int64_t machines);
 
+  // Certified OPT brackets lo <= OPT <= hi from the bound tier
+  // (core/bounds.hpp), keyed by fingerprint alone. Every producer's bracket
+  // is certified, so a lookup can only narrow a caller's own sandwich --
+  // never change a verdict -- and inserts may overwrite with a tighter
+  // bracket. Brackets with lo < 0 or hi above 2^31 - 1 are not stored (the
+  // two halves share one packed value slot).
+  [[nodiscard]] std::optional<std::pair<std::int64_t, std::int64_t>>
+  lookup_bounds(const Digest128& fp);
+  void insert_bounds(const Digest128& fp, std::int64_t lo, std::int64_t hi);
+
  private:
-  // OPT entries share the table with verdicts under a reserved machine key
-  // (no valid feasibility query has machines < 0).
+  // OPT and bracket entries share the table with verdicts under reserved
+  // machine keys (no valid feasibility query has machines < 0).
   static constexpr std::int64_t kOptQuery = -1;
+  static constexpr std::int64_t kBoundsQuery = -2;
   static constexpr std::size_t kShards = 16;
   static constexpr std::size_t kWays = 4;
 

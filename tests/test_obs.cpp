@@ -291,6 +291,68 @@ TEST(Metrics, SimdDispatchInvarianceOfSemanticSnapshots) {
   Registry::global().reset();
 }
 
+// The bound tier only moves bounds.* / oracle.* execution-class tallies:
+// the same OPT computation with the sandwich on and off must produce
+// byte-identical semantic report JSON (bounds.* routes through
+// is_exec_metric like cache.* and simd.*), while the tier-on run records
+// pinches and skipped probes the tier-off run cannot. The tier's tallies
+// are also a pure function of the instance set, so they merge identically
+// at any thread count.
+TEST(Metrics, BoundTierInvarianceOfSemanticSnapshots) {
+  EXPECT_TRUE(is_exec_metric("bounds.computed"));
+  EXPECT_TRUE(is_exec_metric("bounds.pinched"));
+  EXPECT_TRUE(is_exec_metric("bounds.probes_skipped"));
+  EXPECT_TRUE(is_exec_metric("bounds.bracket_width"));
+  EXPECT_TRUE(is_exec_metric("hist.bound_ns"));
+
+  const bool saved = bounds_tier_enabled();
+  Rng rng(131);
+  std::vector<Instance> instances;
+  for (int i = 0; i < 8; ++i)
+    instances.push_back(gen_general(rng, GenConfig{24, 60, 16, 3}));
+  auto run = [&](bool bounds_on, std::size_t threads) {
+    set_bounds_tier_enabled(bounds_on);
+    Registry& r = Registry::global();
+    (void)r.snapshot();  // drain residue from earlier tests
+    r.reset();
+    std::vector<std::int64_t> opts =
+        bench::parallel_map(instances.size(), threads, [&](std::size_t i) {
+          FeasibilityOracle oracle(instances[i]);
+          return oracle.optimal_machines();
+        });
+    Registry& reg = Registry::global();
+    for (std::size_t i = 0; i < opts.size(); ++i)
+      reg.counter("test.opt_sum").add(static_cast<std::uint64_t>(opts[i]));
+    return reg.snapshot();
+  };
+  Snapshot off = run(false, 1);
+  Snapshot on = run(true, 1);
+  Snapshot on_parallel = run(true, 4);
+  set_bounds_tier_enabled(saved);
+  // Same answers, byte-identical semantic report either way.
+  EXPECT_EQ(off.counters.at("test.opt_sum"), on.counters.at("test.opt_sum"));
+  EXPECT_EQ(off.to_json(), on.to_json());
+#if MINMACH_OBS_ENABLED
+  // The tier really ran: sandwiches were computed only in the on runs.
+  auto exec = [](const Snapshot& snap, const char* name) -> std::uint64_t {
+    auto it = snap.exec_counters.find(name);
+    return it == snap.exec_counters.end() ? 0u : it->second;
+  };
+  EXPECT_EQ(exec(off, "bounds.computed"), 0u);
+  EXPECT_EQ(exec(on, "bounds.computed"), instances.size());
+  // Pure function of the instance set: identical tallies at any thread
+  // count (exec maps included, like the cache/mem tallies below; gauges
+  // excluded -- high-water marks legitimately depend on the worker split).
+  EXPECT_EQ(on.counters, on_parallel.counters);
+  EXPECT_EQ(on.histograms, on_parallel.histograms);
+  EXPECT_EQ(on.exec_counters, on_parallel.exec_counters);
+  EXPECT_EQ(on.exec_histograms, on_parallel.exec_histograms);
+  EXPECT_EQ(on.to_json(false, /*include_exec=*/true),
+            on_parallel.to_json(false, /*include_exec=*/true));
+#endif
+  Registry::global().reset();
+}
+
 // cache.* / speculate.* tallies merge deterministically across thread
 // counts when the workload pins them down: a serial warm phase inserts
 // every key exactly once, then a parallel phase performs read-only all-hit

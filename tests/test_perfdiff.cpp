@@ -32,6 +32,12 @@ TEST(PerfdiffClassify, ByLeafName) {
             MetricClass::kHigherBetter);
   EXPECT_EQ(classify_metric("edge_visit_ratio"), MetricClass::kHigherBetter);
   EXPECT_EQ(classify_metric("cache.hit_rate"), MetricClass::kHigherBetter);
+  // Bound-tier effectiveness counters beat the "probes" count marker: work
+  // avoided is higher-better, so a drop in pinches/skips is a regression.
+  EXPECT_EQ(classify_metric("strong_lb_family.bounds.pinched"),
+            MetricClass::kHigherBetter);
+  EXPECT_EQ(classify_metric("strong_lb_family.bounds.probes_skipped"),
+            MetricClass::kHigherBetter);
   EXPECT_EQ(classify_metric("rows[n=250].fast_edge_visits"),
             MetricClass::kCount);
   EXPECT_EQ(classify_metric("fast_probes"), MetricClass::kCount);

@@ -123,6 +123,14 @@ MetricClass classify_metric(const std::string& label) {
       contains(leaf, "hit_rate") || contains(leaf, "share")) {
     return MetricClass::kHigherBetter;
   }
+  // Bound-tier effectiveness counters: pinched sandwiches and probes the
+  // sandwich short-circuited measure work AVOIDED, so a drop is a
+  // regression. Checked before the count markers -- "probes" would
+  // otherwise classify bounds.probes_skipped as a plain count.
+  if (contains(label, "bounds.") &&
+      (leaf == "pinched" || leaf == "probes_skipped")) {
+    return MetricClass::kHigherBetter;
+  }
   static constexpr const char* kCountMarkers[] = {
       "probes",  "passes", "paths",  "edges",      "visits",   "rounds",
       "steals",  "allocs", "ops",    "spills",     "promotions",
