@@ -61,6 +61,18 @@ class Dinic {
   // path; util::substrate_legacy() overrides everything (see build_levels).
   void set_level_kernel(int mode) { accel_mode_ = mode; }
 
+  // Appends an isolated node and returns its id. Existing edges, routed
+  // flow, and handles stay valid -- only the CSR mirror is invalidated --
+  // so the dynamic oracle can grow the network between max_flow() calls
+  // (new leaf after a segment split, new job node on insert).
+  std::size_t add_node() {
+    adjacency_.emplace_back();
+    level_.push_back(-1);
+    next_edge_.push_back(0);
+    csr_valid_ = false;
+    return adjacency_.size() - 1;
+  }
+
   // Returns a handle usable with flow_on() after max_flow().
   std::size_t add_edge(std::size_t from, std::size_t to, Cap capacity) {
     if (from >= node_count() || to >= node_count())
@@ -103,6 +115,27 @@ class Dinic {
   void increase_capacity(std::size_t handle, const Cap& delta) {
     edges_[handle].capacity += delta;
     initial_[handle] += delta;
+  }
+
+  // Removes `amount` (>= 0, <= flow_on(handle)) of routed flow from the
+  // edge returned by add_edge: the forward residual widens back, the
+  // reverse residual (= routed flow) shrinks. Flow conservation at the
+  // endpoints is the CALLER's contract -- the dynamic oracle drains whole
+  // source->job->leaf->sink triples, cancelling the same amount on all
+  // three edges of a path, so every intermediate node stays balanced and
+  // the remaining flow is again a valid (smaller) flow that max_flow()
+  // can resume from.
+  void cancel_flow(std::size_t handle, const Cap& amount) {
+    edges_[handle].capacity += amount;
+    edges_[handle ^ 1].capacity -= amount;
+  }
+
+  // Head node of the edge returned by add_edge (handle ^ 1 gives the tail,
+  // via the reverse twin). Lets callers that only kept handles recover the
+  // topology, e.g. the dynamic oracle mapping a job->leaf edge back to the
+  // leaf's position.
+  [[nodiscard]] std::size_t edge_target(std::size_t handle) const {
+    return edges_[handle].to;
   }
 
   Cap max_flow(std::size_t source, std::size_t sink) {

@@ -38,6 +38,11 @@ struct IntegerGrid {
   std::vector<std::int64_t> release;
   std::vector<std::int64_t> deadline;
   std::vector<std::int64_t> processing;
+  // Multiplier taking original Rat values onto the grid (the denominator
+  // lcm; 1 for the small-integer fast path). The dynamic oracle keeps it so
+  // later insert_job() calls can scale new jobs onto the SAME grid -- or
+  // detect that they do not fit and fall back to the rational network.
+  Rat scale{1};
 };
 
 IntegerGrid try_integer_grid(const Instance& instance) {
@@ -65,6 +70,7 @@ IntegerGrid try_integer_grid(const Instance& instance) {
       return grid;
   }
   grid.usable = true;
+  grid.scale = scale;
   return grid;
 }
 
@@ -213,11 +219,74 @@ struct OracleNet {
   };
   BuildScratch scratch;
 
+  // ---- dynamic layout state (DESIGN.md §15) ----------------------------
+  //
+  // After the first splice the network switches to a FLAT layout: no
+  // segment tree, every job keeps one direct edge per covered leaf with
+  // cap min(p_j, |leaf|). That is max-flow-equivalent to the dense Horn
+  // network (a job routes at most p_j anywhere, so the min() only
+  // reproduces the binding per-segment cap), and unlike the tree cover it
+  // survives leaf SPLITS locally: a cover edge's cap-free condition
+  // (p_j <= every covered leaf length) can break when a new event point
+  // halves a leaf, but a direct edge just re-caps to min(p_j, new length).
+  struct DynIn {
+    std::uint32_t slot;    // job slot the edge belongs to
+    std::uint32_t gen;     // slot generation at insertion (stale if bumped)
+    std::size_t handle;    // job -> leaf edge
+  };
+  struct DynState {
+    bool active = false;
+    std::vector<std::size_t> job_node;    // per slot (kNpos: none yet)
+    std::vector<std::size_t> src_handle;  // per slot (kNpos: none yet)
+    // Bumped when a slot retires: leaf_in entries with an older gen are
+    // stale (their edges are zeroed) and get purged on the next split.
+    std::vector<std::uint32_t> gen;
+    std::vector<std::vector<std::size_t>> out;  // per slot: job->leaf edges
+    std::vector<std::vector<DynIn>> leaf_in;    // per leaf POSITION
+    std::vector<std::size_t> pos_of_node;       // graph node -> leaf position
+    std::uint64_t live_edges = 0;
+    std::uint64_t dead_edges = 0;  // zeroed by retires; triggers compaction
+
+    void reset() {
+      active = false;
+      job_node.clear();
+      src_handle.clear();
+      gen.clear();
+      out.clear();
+      leaf_in.clear();
+      pos_of_node.clear();
+      live_edges = 0;
+      dead_edges = 0;
+    }
+  };
+  DynState dyn;
+
   void build(bool compress, BuildCounters& counters);
   // Returns the verdict; sets `warm` to whether the probe reused the
   // routed flow (capacities only grew) or reset it.
   bool probe(std::int64_t machines, bool allow_warm, bool& warm);
   [[nodiscard]] std::int64_t sweep_bound() const;
+
+  // Dynamic layout (definitions below build()).
+  void build_dynamic(BuildCounters& counters);
+  void splice_insert(std::size_t slot);
+  void splice_remove(std::size_t slot);
+  void ensure_point(const Cap& x);
+  void split_leaf(std::size_t k, const Cap& x);
+  void recompute_points();
+  [[nodiscard]] std::size_t leaf_node_at(std::size_t pos) const {
+    // The reverse twin of the leaf->sink edge points back at the leaf.
+    return graph.edge_target(sink_handle[pos] ^ 1);
+  }
+  std::size_t new_node() {
+    const std::size_t id = graph.add_node();
+    dyn.pos_of_node.push_back(static_cast<std::size_t>(-1));
+    return id;
+  }
+  void refresh_positions(std::size_t from) {
+    for (std::size_t pos = from; pos < seg_length.size(); ++pos)
+      dyn.pos_of_node[leaf_node_at(pos)] = pos;
+  }
 
   // Rewinds to the just-constructed logical state, keeping every
   // container's storage (the graph recycles via build()'s reinit). Used
@@ -235,6 +304,7 @@ struct OracleNet {
     accel = false;
     source = 0;
     sink = 0;
+    dyn.reset();
   }
 };
 
@@ -433,6 +503,240 @@ void OracleNet<Cap>::build(bool compress, BuildCounters& counters) {
 }
 
 template <typename Cap>
+void OracleNet<Cap>::recompute_points() {
+  points.clear();
+  points.insert(points.end(), release.begin(), release.end());
+  points.insert(points.end(), deadline.begin(), deadline.end());
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+}
+
+// Builds the flat dynamic layout from the (compacted, all-live) job arrays.
+// Node layout: 0 = source, 1 = sink -- the sink id must be STABLE, unlike
+// the batch layouts, because splices append nodes -- then leaves in
+// position order, then jobs in slot order. probe() works unchanged: the
+// pos-aligned sink_handle/seg_length arrays are the only thing it touches.
+template <typename Cap>
+void OracleNet<Cap>::build_dynamic(BuildCounters& counters) {
+  const std::size_t n = release.size();
+  recompute_points();
+  const std::size_t segments = points.empty() ? 0 : points.size() - 1;
+  counters.segments = segments;
+  seg_length.resize(segments);
+  for (std::size_t k = 0; k < segments; ++k)
+    seg_length[k] = points[k + 1] - points[k];
+  total_work = Cap(0);
+  for (const Cap& p : processing) total_work += p;
+  source = 0;
+  sink = 1;
+  graph.reinit(2 + segments + n);
+  dyn.reset();
+  dyn.active = true;
+  dyn.job_node.assign(n, static_cast<std::size_t>(-1));
+  dyn.src_handle.assign(n, static_cast<std::size_t>(-1));
+  dyn.gen.assign(n, 0);
+  dyn.out.assign(n, {});
+  dyn.leaf_in.assign(segments, {});
+  dyn.pos_of_node.assign(2 + segments + n, static_cast<std::size_t>(-1));
+  sink_handle.clear();
+  for (std::size_t k = 0; k < segments; ++k) {
+    dyn.pos_of_node[2 + k] = k;
+    sink_handle.push_back(graph.add_edge(2 + k, sink, Cap(0)));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t node = 2 + segments + j;
+    dyn.job_node[j] = node;
+    dyn.src_handle[j] = graph.add_edge(source, node, processing[j]);
+    const std::size_t lo = static_cast<std::size_t>(
+        std::lower_bound(points.begin(), points.end(), release[j]) -
+        points.begin());
+    const std::size_t hi = static_cast<std::size_t>(
+        std::lower_bound(points.begin(), points.end(), deadline[j]) -
+        points.begin());
+    for (std::size_t k = lo; k < hi; ++k) {
+      const Cap cap =
+          processing[j] < seg_length[k] ? processing[j] : seg_length[k];
+      const std::size_t h = graph.add_edge(node, 2 + k, cap);
+      dyn.out[j].push_back(h);
+      dyn.leaf_in[k].push_back({static_cast<std::uint32_t>(j), 0, h});
+      ++dyn.live_edges;
+      ++counters.direct_edges;
+    }
+  }
+  routed = Cap(0);
+  flow_m = 0;
+}
+
+// Makes x an event point. Three cases: already one (no-op), outside the
+// current horizon (a fresh boundary leaf appears, no flow touched), or
+// strictly inside a leaf (split_leaf). New sink edges open at flow_m *
+// length so the warm probe's uniform delta retune stays correct.
+template <typename Cap>
+void OracleNet<Cap>::ensure_point(const Cap& x) {
+  auto it = std::lower_bound(points.begin(), points.end(), x);
+  if (it != points.end() && *it == x) return;
+  obs::Registry& registry = obs::Registry::global();
+  const std::size_t pos = static_cast<std::size_t>(it - points.begin());
+  if (pos == 0 || pos == points.size()) {
+    const bool left = pos == 0;
+    const Cap len = left ? points.front() - x : x - points.back();
+    const std::size_t node = new_node();
+    const std::size_t hb = graph.add_edge(node, sink, Cap(flow_m) * len);
+    if (left) {
+      points.insert(points.begin(), x);
+      seg_length.insert(seg_length.begin(), len);
+      sink_handle.insert(sink_handle.begin(), hb);
+      // NB: emplace, not insert(it, {}) -- the empty braced list would
+      // select the initializer_list overload and insert zero elements.
+      dyn.leaf_in.emplace(dyn.leaf_in.begin());
+      dyn.pos_of_node[node] = 0;
+      refresh_positions(1);
+    } else {
+      dyn.pos_of_node[node] = seg_length.size();
+      points.push_back(x);
+      seg_length.push_back(len);
+      sink_handle.push_back(hb);
+      dyn.leaf_in.emplace_back();
+    }
+    registry.counter("dyn.edges_patched").add();
+    return;
+  }
+  split_leaf(pos - 1, x);
+}
+
+// Splits leaf k = [t_k, t_k+1) at an interior point x. All flow crossing
+// the leaf is drained first -- cancelled along its full source->job->leaf->
+// sink triple, which keeps conservation at every node without any path
+// walking, because this layout pins each flow unit to exactly one such
+// triple. The old leaf node keeps the left half (handles stay valid); the
+// right half gets a fresh node, and every surviving in-edge job -- whose
+// window necessarily covers BOTH halves, since windows begin/end on event
+// points -- gets its old edge re-capped and one new edge added.
+template <typename Cap>
+void OracleNet<Cap>::split_leaf(std::size_t k, const Cap& x) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("dyn.leaf_splits").add();
+  std::vector<DynIn> survivors;
+  survivors.reserve(dyn.leaf_in[k].size());
+  for (const DynIn& in : dyn.leaf_in[k]) {
+    if (dyn.gen[in.slot] != in.gen) continue;  // retired slot: purge
+    const Cap f = graph.flow_on(in.handle);
+    if (Cap(0) < f) {
+      graph.cancel_flow(dyn.src_handle[in.slot], f);
+      graph.cancel_flow(in.handle, f);
+      graph.cancel_flow(sink_handle[k], f);
+      routed -= f;
+      registry.counter("dyn.drained_paths").add();
+    }
+    survivors.push_back(in);
+  }
+  const Cap len_a = x - points[k];
+  const Cap len_b = points[k + 1] - x;
+  seg_length[k] = len_a;
+  graph.set_capacity(sink_handle[k], Cap(flow_m) * len_a);
+  const std::size_t node_b = new_node();
+  const std::size_t hb = graph.add_edge(node_b, sink, Cap(flow_m) * len_b);
+  points.insert(points.begin() + static_cast<std::ptrdiff_t>(k) + 1, x);
+  seg_length.insert(seg_length.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                    len_b);
+  sink_handle.insert(sink_handle.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                     hb);
+  // NB: emplace, not insert(it, {}) -- see ensure_point.
+  dyn.leaf_in.emplace(dyn.leaf_in.begin() + static_cast<std::ptrdiff_t>(k) + 1);
+  dyn.pos_of_node[node_b] = k + 1;
+  refresh_positions(k + 2);
+  std::uint64_t patched = 1;  // the new sink edge
+  for (const DynIn& in : survivors) {
+    const Cap& p = processing[in.slot];
+    graph.set_capacity(in.handle, p < len_a ? p : len_a);
+    const Cap cap_b = p < len_b ? p : len_b;
+    const std::size_t h2 = graph.add_edge(dyn.job_node[in.slot], node_b, cap_b);
+    dyn.out[in.slot].push_back(h2);
+    dyn.leaf_in[k + 1].push_back({in.slot, in.gen, h2});
+    ++dyn.live_edges;
+    patched += 2;
+  }
+  dyn.leaf_in[k] = std::move(survivors);
+  registry.counter("dyn.edges_patched").add(patched);
+}
+
+// Splices a freshly stored slot into the live layout: at most two leaf
+// splits for the new window endpoints, then one source edge (recycled via
+// set_capacity when the slot is reused) and one direct edge per covered
+// leaf. The routed flow is untouched -- it is still feasible, merely no
+// longer maximal -- so the next probe re-augments warm from the deficit.
+template <typename Cap>
+void OracleNet<Cap>::splice_insert(std::size_t slot) {
+  obs::Registry& registry = obs::Registry::global();
+  ensure_point(release[slot]);
+  ensure_point(deadline[slot]);
+  const Cap& p = processing[slot];
+  if (slot >= dyn.job_node.size()) {
+    dyn.job_node.resize(slot + 1, static_cast<std::size_t>(-1));
+    dyn.src_handle.resize(slot + 1, static_cast<std::size_t>(-1));
+    dyn.gen.resize(slot + 1, 0);
+    dyn.out.resize(slot + 1);
+  }
+  if (dyn.job_node[slot] == static_cast<std::size_t>(-1)) {
+    dyn.job_node[slot] = new_node();
+    dyn.src_handle[slot] = graph.add_edge(source, dyn.job_node[slot], p);
+  } else {
+    // Recycled slot: its old flow was drained at retirement.
+    graph.set_capacity(dyn.src_handle[slot], p);
+  }
+  const std::size_t lo = static_cast<std::size_t>(
+      std::lower_bound(points.begin(), points.end(), release[slot]) -
+      points.begin());
+  const std::size_t hi = static_cast<std::size_t>(
+      std::lower_bound(points.begin(), points.end(), deadline[slot]) -
+      points.begin());
+  std::uint64_t patched = 1;  // the source edge
+  for (std::size_t k = lo; k < hi; ++k) {
+    const Cap cap = p < seg_length[k] ? p : seg_length[k];
+    const std::size_t h = graph.add_edge(dyn.job_node[slot], leaf_node_at(k),
+                                         cap);
+    dyn.out[slot].push_back(h);
+    dyn.leaf_in[k].push_back(
+        {static_cast<std::uint32_t>(slot), dyn.gen[slot], h});
+    ++dyn.live_edges;
+    ++patched;
+  }
+  total_work += p;
+  registry.counter("dyn.edges_patched").add(patched);
+}
+
+// Retires a slot: drain its flow triple-by-triple (the out-edge handles
+// pin each triple's leaf via pos_of_node), zero its capacities, and bump
+// the generation so stale leaf_in entries purge lazily. The remaining flow
+// is again feasible for the remaining jobs, so the next probe at the same
+// machine count only has to CHECK maximality (one BFS), not re-solve.
+template <typename Cap>
+void OracleNet<Cap>::splice_remove(std::size_t slot) {
+  obs::Registry& registry = obs::Registry::global();
+  std::uint64_t patched = 1;  // the source edge
+  for (const std::size_t h : dyn.out[slot]) {
+    const Cap f = graph.flow_on(h);
+    if (Cap(0) < f) {
+      const std::size_t pos = dyn.pos_of_node[graph.edge_target(h)];
+      graph.cancel_flow(dyn.src_handle[slot], f);
+      graph.cancel_flow(h, f);
+      graph.cancel_flow(sink_handle[pos], f);
+      routed -= f;
+      registry.counter("dyn.drained_paths").add();
+    }
+    graph.set_capacity(h, Cap(0));
+    ++dyn.dead_edges;
+    --dyn.live_edges;
+    ++patched;
+  }
+  dyn.out[slot].clear();
+  graph.set_capacity(dyn.src_handle[slot], Cap(0));
+  ++dyn.gen[slot];
+  total_work -= processing[slot];
+  registry.counter("dyn.edges_patched").add(patched);
+}
+
+template <typename Cap>
 bool OracleNet<Cap>::probe(std::int64_t machines, bool allow_warm,
                            bool& warm) {
   warm = allow_warm && machines >= flow_m;
@@ -456,8 +760,16 @@ bool OracleNet<Cap>::probe(std::int64_t machines, bool allow_warm,
   return routed == total_work;
 }
 
+// Array-level body of OracleNet::sweep_bound, shared with the dynamic
+// oracle's live views (compacted copies that mask retired slots): the
+// bound must see EXACTLY the live job set -- a dead slot's work would
+// inflate it above OPT, which is unsound -- and running the same kernel on
+// the same values keeps dynamic and batch lower bounds bit-identical.
 template <typename Cap>
-std::int64_t OracleNet<Cap>::sweep_bound() const {
+std::int64_t sweep_bound_arrays(const std::vector<Cap>& release,
+                                const std::vector<Cap>& deadline,
+                                const std::vector<Cap>& processing,
+                                const std::vector<Cap>& points, bool accel) {
   // Left-endpoint budget: caps the sweep at O(budget * (n + S)). The bound
   // stays certified (subset of intervals); any slack vs the exact value is
   // absorbed by a few extra warm ascending probes, which cost one residual
@@ -497,6 +809,39 @@ std::int64_t OracleNet<Cap>::sweep_bound() const {
                           },
                           stride)
       .machines;
+}
+
+template <typename Cap>
+std::int64_t OracleNet<Cap>::sweep_bound() const {
+  return sweep_bound_arrays(release, deadline, processing, points, accel);
+}
+
+// Live view of a (possibly edited) net: the live slots' values plus their
+// OWN event points. Both matter -- the net's member arrays may still hold
+// retired slots' values, and its member `points` may hold their (or gap
+// boundary) event points, either of which would skew the sweep. The copy
+// is O(n log n) once per post-edit bound, then cached via lb_cache.
+template <typename Cap>
+struct LiveArrays {
+  std::vector<Cap> release, deadline, processing, points;
+};
+
+template <typename Cap>
+LiveArrays<Cap> live_view(const OracleNet<Cap>& net,
+                          const std::vector<char>& live) {
+  LiveArrays<Cap> v;
+  for (std::size_t s = 0; s < live.size(); ++s) {
+    if (!live[s]) continue;
+    v.release.push_back(net.release[s]);
+    v.deadline.push_back(net.deadline[s]);
+    v.processing.push_back(net.processing[s]);
+  }
+  v.points.insert(v.points.end(), v.release.begin(), v.release.end());
+  v.points.insert(v.points.end(), v.deadline.begin(), v.deadline.end());
+  std::sort(v.points.begin(), v.points.end());
+  v.points.erase(std::unique(v.points.begin(), v.points.end()),
+                 v.points.end());
+  return v;
 }
 
 }  // namespace
@@ -540,6 +885,23 @@ struct FeasibilityOracle::Impl {
   // flow.* counters already published, so each probe adds only its delta.
   DinicStats published;
 
+  // ---- dynamic-edit state (DESIGN.md §15), engaged on the first edit ----
+  //
+  // Jobs live in SLOTS (positions in the active net's arrays); callers hold
+  // stable JobIds that indirect through slot_of_id so compaction can
+  // renumber slots without invalidating ids. job_count counts LIVE slots.
+  bool dyn_mode = false;
+  std::vector<char> slot_live;            // per slot
+  std::vector<std::uint32_t> free_slots;  // retired slots, reusable
+  std::vector<std::int64_t> slot_of_id;   // per id; -1 = retired
+  std::vector<JobId> id_of_slot;          // per slot (live slots only valid)
+  // Multiplier taking original Rat values onto the integer grid; inserts
+  // that do not land on it (non-integral or overflowing after scaling)
+  // demote the oracle to the exact rational network once, permanently.
+  Rat grid_scale{1};
+  bool lb_dirty = false;       // density_lb stale after an edit
+  bool pending_repair = false; // a splice awaits its warm re-augmentation
+
   // Pool bookkeeping (see acquire_impl): owner_busy points at the leasing
   // thread's busy flag and is only ever compared / written on that thread.
   bool pooled = false;
@@ -549,6 +911,21 @@ struct FeasibilityOracle::Impl {
   std::int64_t lower_bound();
   void publish_flow_stats();
   void ensure_network();
+  JobId insert(const Job& job);
+  void remove(JobId id);
+  void enter_dyn_mode();
+  void fall_back_to_rational();
+  void compact_slots();
+  void refresh_dyn_bounds();
+  // Every edit invalidates the derived caches; the monotone memo is NOT
+  // among them -- insert/remove shift it by the sound +-1 rules instead.
+  void invalidate_after_edit() {
+    lb_cache.reset();
+    lb_dirty = true;
+    sandwich_done = false;
+    sandwich_cache = BoundSandwich{};
+    has_fp = false;  // the fingerprint named the pre-edit instance
+  }
   [[nodiscard]] bool bounds_active() const {
     return options.bounds && bounds_tier_enabled();
   }
@@ -576,6 +953,14 @@ struct FeasibilityOracle::Impl {
     inet.reset_net();
     rnet.reset_net();
     published = DinicStats{};
+    dyn_mode = false;
+    slot_live.clear();
+    free_slots.clear();
+    slot_of_id.clear();
+    id_of_slot.clear();
+    grid_scale = Rat(1);
+    lb_dirty = false;
+    pending_repair = false;
   }
 };
 
@@ -666,6 +1051,7 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
 
   if (grid.usable) {
     im.integer_mode = true;
+    im.grid_scale = grid.scale;  // later insert_job() scales onto this grid
     OracleNet<__int128>& net = im.inet;
     net.accel = accel;
     net.release.assign(grid.release.begin(), grid.release.end());
@@ -712,17 +1098,33 @@ void FeasibilityOracle::Impl::ensure_network() {
   network_built = true;
   obs::ProfileSpan span("oracle_build");
   BuildCounters counters;
+  // An edited oracle compacts retired slots away before any (re)build --
+  // both layouts want dense all-live arrays -- and with options.dynamic
+  // adopts the flat splice-able layout so later edits patch in place.
+  // The stale-mark fallback (options.dynamic off) lands here too and
+  // rebuilds the ordinary batch network over the live set.
+  if (dyn_mode) compact_slots();
+  const bool dynamic_layout = dyn_mode && options.dynamic;
   if (integer_mode) {
-    inet.build(options.compress, counters);
+    if (dynamic_layout)
+      inet.build_dynamic(counters);
+    else
+      inet.build(options.compress, counters);
     inet.graph.set_level_kernel(inet.accel ? -1 : 0);
   } else {
-    rnet.build(options.compress, counters);
+    if (dynamic_layout)
+      rnet.build_dynamic(counters);
+    else
+      rnet.build(options.compress, counters);
     rnet.graph.set_level_kernel(rnet.accel ? -1 : 0);
   }
 
   obs::Registry& registry = obs::Registry::global();
   registry.counter("oracle.builds").add();
-  if (options.compress) {
+  if (dynamic_layout) {
+    registry.counter("dyn.rebuilds").add();
+    registry.counter("oracle.direct_edges").add(counters.direct_edges);
+  } else if (options.compress) {
     registry.counter("oracle.tree_edges").add(counters.tree_edges);
     registry.counter("oracle.direct_edges").add(counters.direct_edges);
   } else {
@@ -768,16 +1170,24 @@ void FeasibilityOracle::Impl::publish_flow_stats() {
 Instance FeasibilityOracle::Impl::materialize() const {
   std::vector<Job> jobs;
   jobs.reserve(static_cast<std::size_t>(job_count));
+  // Edited oracles may still hold retired slots' values; only live slots
+  // belong to the instance being certified.
+  const auto dead = [this](std::size_t j) {
+    return dyn_mode && !slot_live[j];
+  };
   if (integer_mode) {
     for (std::size_t j = 0; j < inet.release.size(); ++j) {
+      if (dead(j)) continue;
       // Grid values fit int64 by the try_integer_grid 62-bit guard.
       jobs.push_back(Job{Rat(static_cast<std::int64_t>(inet.release[j])),
                          Rat(static_cast<std::int64_t>(inet.deadline[j])),
                          Rat(static_cast<std::int64_t>(inet.processing[j]))});
     }
   } else {
-    for (std::size_t j = 0; j < rnet.release.size(); ++j)
+    for (std::size_t j = 0; j < rnet.release.size(); ++j) {
+      if (dead(j)) continue;
       jobs.push_back(Job{rnet.release[j], rnet.deadline[j], rnet.processing[j]});
+    }
   }
   return Instance(std::move(jobs));
 }
@@ -800,14 +1210,31 @@ const BoundSandwich& FeasibilityOracle::Impl::sandwich() {
   // (core/bounds.hpp) -- the all-pairs Rat sweep compounds denominators in
   // its accumulators, which made rational lower bounds dominate sandwich
   // wall time on the adversary families.
+  refresh_dyn_bounds();
   std::int64_t lo = density_lb;
   {
     obs::ProfileSpan span("bound_lo");
-    lo = std::max(lo, integer_mode
-                          ? inet.sweep_bound()
-                          : prefiltered_sweep_bound(rnet.release, rnet.deadline,
-                                                    rnet.processing,
-                                                    rnet.points));
+    if (dyn_mode) {
+      // Edited oracle: sweep the live view (same kernels, same values a
+      // fresh batch oracle of the live set would see).
+      if (integer_mode) {
+        const LiveArrays<__int128> v = live_view(inet, slot_live);
+        lo = std::max(lo, sweep_bound_arrays(v.release, v.deadline,
+                                             v.processing, v.points,
+                                             inet.accel));
+      } else {
+        const LiveArrays<Rat> v = live_view(rnet, slot_live);
+        lo = std::max(lo, prefiltered_sweep_bound(v.release, v.deadline,
+                                                  v.processing, v.points));
+      }
+    } else {
+      lo = std::max(lo,
+                    integer_mode
+                        ? inet.sweep_bound()
+                        : prefiltered_sweep_bound(rnet.release, rnet.deadline,
+                                                  rnet.processing,
+                                                  rnet.points));
+    }
   }
   s.certificate.density_lb = density_lb;
   s.certificate.load_lb = lo;
@@ -872,9 +1299,19 @@ bool FeasibilityOracle::Impl::probe(std::int64_t machines) {
   {
     obs::ScopedTimer timer(registry.timing("oracle.probe_ns"));
     obs::ScopedLatency latency("hist.probe_ns");
-    result = integer_mode
-                 ? inet.probe(machines, options.warm_start, warm)
-                 : rnet.probe(machines, options.warm_start, warm);
+    if (pending_repair) {
+      // First probe after a splice: this max-flow IS the warm repair (it
+      // re-augments only the deficit the edit opened).
+      obs::ProfileSpan repair("flow_repair");
+      pending_repair = false;
+      result = integer_mode
+                   ? inet.probe(machines, options.warm_start, warm)
+                   : rnet.probe(machines, options.warm_start, warm);
+    } else {
+      result = integer_mode
+                   ? inet.probe(machines, options.warm_start, warm)
+                   : rnet.probe(machines, options.warm_start, warm);
+    }
   }
   registry.counter(warm ? "oracle.warm_probes" : "oracle.cold_probes").add();
   const DinicStats& now = integer_mode ? inet.graph.stats() : rnet.graph.stats();
@@ -893,13 +1330,31 @@ bool FeasibilityOracle::Impl::probe(std::int64_t machines) {
 
 std::int64_t FeasibilityOracle::Impl::lower_bound() {
   if (lb_cache) return *lb_cache;
+  refresh_dyn_bounds();
   std::int64_t lb = empty ? 0 : density_lb;
   if (options.sweep_bound && !empty && well_formed) {
     obs::ProfileSpan span("sweep_bound");
     obs::Registry& registry = obs::Registry::global();
     obs::ScopedTimer timer(registry.timing("oracle.sweep_ns"));
     registry.counter("oracle.sweep_bounds").add();
-    lb = std::max(lb, integer_mode ? inet.sweep_bound() : rnet.sweep_bound());
+    if (dyn_mode) {
+      // Edited oracle: the net's member arrays/points may include retired
+      // slots or boundary gaps; sweep the live view instead (identical
+      // values to a fresh batch oracle of the live set).
+      if (integer_mode) {
+        const LiveArrays<__int128> v = live_view(inet, slot_live);
+        lb = std::max(lb, sweep_bound_arrays(v.release, v.deadline,
+                                             v.processing, v.points,
+                                             inet.accel));
+      } else {
+        const LiveArrays<Rat> v = live_view(rnet, slot_live);
+        lb = std::max(lb, sweep_bound_arrays(v.release, v.deadline,
+                                             v.processing, v.points,
+                                             rnet.accel));
+      }
+    } else {
+      lb = std::max(lb, integer_mode ? inet.sweep_bound() : rnet.sweep_bound());
+    }
     // The sweep bound is certified (Theorem 1's easy direction), so every
     // machine count below it is infeasible without probing. The legacy
     // path skips this to stay probe-for-probe faithful to the pre-PR
@@ -908,6 +1363,312 @@ std::int64_t FeasibilityOracle::Impl::lower_bound() {
   }
   lb_cache = lb;
   return lb;
+}
+
+// ---- dynamic edits (DESIGN.md §15) -------------------------------------
+
+// Engaged on the first edit: from then on jobs live in slots with id
+// indirection. Constructor jobs keep their instance indices as ids.
+void FeasibilityOracle::Impl::enter_dyn_mode() {
+  if (dyn_mode) return;
+  dyn_mode = true;
+  const std::size_t n =
+      integer_mode ? inet.release.size() : rnet.release.size();
+  slot_live.assign(n, 1);
+  id_of_slot.resize(n);
+  slot_of_id.resize(n);
+  free_slots.clear();
+  for (std::size_t s = 0; s < n; ++s) {
+    id_of_slot[s] = static_cast<JobId>(s);
+    slot_of_id[s] = static_cast<std::int64_t>(s);
+  }
+}
+
+// A job that does not land on the integer grid demotes the oracle to the
+// exact rational network, once and permanently. Every stored slot converts
+// exactly (grid / scale reproduces the original value by construction);
+// retired slots convert too -- harmlessly, just to keep slot alignment --
+// and are compacted away at the next build.
+void FeasibilityOracle::Impl::fall_back_to_rational() {
+  obs::Registry::global().counter("dyn.grid_fallbacks").add();
+  const bool accel = inet.accel;
+  const std::size_t n = inet.release.size();
+  rnet.reset_net();
+  rnet.accel = accel;
+  rnet.release.reserve(n);
+  rnet.deadline.reserve(n);
+  rnet.processing.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    rnet.release.push_back(
+        Rat(static_cast<std::int64_t>(inet.release[j])) / grid_scale);
+    rnet.deadline.push_back(
+        Rat(static_cast<std::int64_t>(inet.deadline[j])) / grid_scale);
+    rnet.processing.push_back(
+        Rat(static_cast<std::int64_t>(inet.processing[j])) / grid_scale);
+  }
+  inet.reset_net();
+  integer_mode = false;
+  grid_scale = Rat(1);
+  network_built = false;
+  pending_repair = false;
+}
+
+// Physically erases retired slots from the active net's arrays, renumbering
+// live slots (ids stay stable through slot_of_id). Only legal with no live
+// spliced layout -- edge handles name the OLD slots -- so both layouts are
+// reset first; callers rebuild right after.
+void FeasibilityOracle::Impl::compact_slots() {
+  inet.dyn.reset();
+  rnet.dyn.reset();
+  if (!dyn_mode) return;
+  std::size_t w = 0;
+  const std::size_t n = slot_live.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!slot_live[s]) continue;
+    if (w != s) {
+      if (integer_mode) {
+        inet.release[w] = inet.release[s];
+        inet.deadline[w] = inet.deadline[s];
+        inet.processing[w] = inet.processing[s];
+      } else {
+        rnet.release[w] = std::move(rnet.release[s]);
+        rnet.deadline[w] = std::move(rnet.deadline[s]);
+        rnet.processing[w] = std::move(rnet.processing[s]);
+      }
+      id_of_slot[w] = id_of_slot[s];
+    }
+    slot_of_id[id_of_slot[w]] = static_cast<std::int64_t>(w);
+    ++w;
+  }
+  if (integer_mode) {
+    inet.release.resize(w);
+    inet.deadline.resize(w);
+    inet.processing.resize(w);
+    inet.recompute_points();
+  } else {
+    rnet.release.resize(w);
+    rnet.deadline.resize(w);
+    rnet.processing.resize(w);
+    rnet.recompute_points();
+  }
+  id_of_slot.resize(w);
+  slot_live.assign(w, 1);
+  free_slots.clear();
+}
+
+// Recomputes the pigeonhole density bound over the LIVE slots after an
+// edit (a retired slot's work inflating the bound would be unsound; a
+// missing insert would merely loosen it, but the differential suite pins
+// exact agreement with the batch oracle).
+void FeasibilityOracle::Impl::refresh_dyn_bounds() {
+  if (!lb_dirty) return;
+  lb_dirty = false;
+  density_lb = 1;
+  if (empty || !well_formed || job_count <= 0) return;
+  if (integer_mode) {
+    __int128 total = 0;
+    __int128 lo = 0, hi = 0;
+    bool first = true;
+    for (std::size_t s = 0; s < slot_live.size(); ++s) {
+      if (!slot_live[s]) continue;
+      total += inet.processing[s];
+      if (first || inet.release[s] < lo) lo = inet.release[s];
+      if (first || hi < inet.deadline[s]) hi = inet.deadline[s];
+      first = false;
+    }
+    const __int128 span = hi - lo;
+    if (span > 0)
+      density_lb = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>((total + span - 1) / span));
+  } else {
+    Rat total(0);
+    Rat lo(0), hi(0);
+    bool first = true;
+    for (std::size_t s = 0; s < slot_live.size(); ++s) {
+      if (!slot_live[s]) continue;
+      total += rnet.processing[s];
+      if (first || rnet.release[s] < lo) lo = rnet.release[s];
+      if (first || hi < rnet.deadline[s]) hi = rnet.deadline[s];
+      first = false;
+    }
+    const Rat span = hi - lo;
+    if (span.is_positive()) {
+      const Rat density = total / span;
+      density_lb = std::max<std::int64_t>(1, density.ceil().to_int64());
+    }
+  }
+}
+
+JobId FeasibilityOracle::Impl::insert(const Job& job) {
+  if (!well_formed)
+    throw std::invalid_argument(
+        "insert_job: oracle holds a malformed instance");
+  if (!job.well_formed())
+    throw std::invalid_argument("insert_job: malformed job");
+  obs::ProfileSpan span("dyn_insert");
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("dyn.inserts").add();
+
+  // First job ever (oracle constructed empty): decide the grid mode here,
+  // from this job, the way the batch constructor would.
+  if (!dyn_mode && job_count == 0 && inet.release.empty() &&
+      rnet.release.empty()) {
+    auto small = [](const Rat& v) {
+      constexpr std::int64_t kMaxAbs = (std::int64_t{1} << 62) - 1;
+      if (!v.is_integer() || !v.num().is_small()) return false;
+      const std::int64_t x = v.num().small_value();
+      return x >= -kMaxAbs && x <= kMaxAbs;
+    };
+    integer_mode =
+        small(job.release) && small(job.deadline) && small(job.processing);
+    grid_scale = Rat(1);
+    const bool accel = options.simd && util::simd::active();
+    if (integer_mode)
+      inet.accel = accel;
+    else
+      rnet.accel = accel;
+  }
+  enter_dyn_mode();
+
+  // Land the job on the active grid, or demote to rationals once.
+  std::int64_t gr = 0, gd = 0, gp = 0;
+  if (integer_mode) {
+    auto fit = [this](const Rat& v, std::int64_t& out) {
+      const Rat scaled = v * grid_scale;
+      if (!scaled.is_integer()) return false;
+      BigInt num = scaled.num();
+      if (num.bit_length() > 62) return false;
+      out = num.to_int64();
+      return true;
+    };
+    if (!fit(job.release, gr) || !fit(job.deadline, gd) ||
+        !fit(job.processing, gp))
+      fall_back_to_rational();
+  }
+
+  // Slot allocation: retired slots are recycled before the arrays grow.
+  std::size_t slot;
+  if (!free_slots.empty()) {
+    slot = free_slots.back();
+    free_slots.pop_back();
+    if (integer_mode) {
+      inet.release[slot] = gr;
+      inet.deadline[slot] = gd;
+      inet.processing[slot] = gp;
+    } else {
+      rnet.release[slot] = job.release;
+      rnet.deadline[slot] = job.deadline;
+      rnet.processing[slot] = job.processing;
+    }
+  } else {
+    slot = slot_live.size();
+    slot_live.push_back(0);
+    id_of_slot.push_back(kInvalidJob);
+    if (integer_mode) {
+      inet.release.push_back(gr);
+      inet.deadline.push_back(gd);
+      inet.processing.push_back(gp);
+    } else {
+      rnet.release.push_back(job.release);
+      rnet.deadline.push_back(job.deadline);
+      rnet.processing.push_back(job.processing);
+    }
+  }
+  slot_live[slot] = 1;
+  const JobId id = static_cast<JobId>(slot_of_id.size());
+  slot_of_id.push_back(static_cast<std::int64_t>(slot));
+  id_of_slot[slot] = id;
+  ++job_count;
+  empty = false;
+  // Memo shift: the new job alone fits one extra machine, so OPT grows by
+  // at most 1; infeasibility survives adding a job, so the floor stands.
+  min_feasible = std::min(job_count, min_feasible + 1);
+  invalidate_after_edit();
+
+  if (network_built) {
+    auto after_splice = [&](const auto& net) {
+      if (net.dyn.dead_edges > net.dyn.live_edges + 64) {
+        // Dead-edge debt exceeds the live set: fold the zero-capacity
+        // edges away with a fresh compacted build on the next probe.
+        network_built = false;
+        pending_repair = false;
+      } else {
+        registry.counter("dyn.rebuilds_avoided").add();
+        pending_repair = true;
+      }
+    };
+    if (!options.dynamic) {
+      network_built = false;  // stale-mark: next probe rebuilds (live set)
+    } else if (integer_mode && inet.dyn.active) {
+      inet.splice_insert(slot);
+      after_splice(inet);
+    } else if (!integer_mode && rnet.dyn.active) {
+      rnet.splice_insert(slot);
+      after_splice(rnet);
+    } else {
+      // Batch layout in place: convert to the spliceable layout lazily on
+      // the next probe (coalesces any further edits before it for free).
+      network_built = false;
+    }
+  }
+  return id;
+}
+
+void FeasibilityOracle::Impl::remove(JobId id) {
+  if (!well_formed)
+    throw std::invalid_argument(
+        "remove_job: oracle holds a malformed instance");
+  obs::ProfileSpan span("dyn_remove");
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("dyn.removes").add();
+  enter_dyn_mode();
+  if (id >= slot_of_id.size() || slot_of_id[id] < 0)
+    throw std::invalid_argument("remove_job: unknown or retired job id");
+  const std::size_t slot = static_cast<std::size_t>(slot_of_id[id]);
+  slot_of_id[id] = -1;
+  slot_live[slot] = 0;
+  free_slots.push_back(static_cast<std::uint32_t>(slot));
+  --job_count;
+  // Memo shift: feasibility survives removing a job, so the ceiling stands
+  // (clamped -- job_count machines always suffice); re-adding the job to a
+  // schedule costs at most one machine, so the floor drops by exactly 1.
+  min_feasible = std::min(min_feasible, job_count);
+  max_infeasible = std::max<std::int64_t>(0, max_infeasible - 1);
+  invalidate_after_edit();
+  if (job_count == 0) {
+    // Drained: behave exactly like a constructed-empty oracle (feasible on
+    // any machine count, OPT 0) until the next insert.
+    empty = true;
+    min_feasible = 0;
+    max_infeasible = 0;
+    network_built = false;
+    inet.dyn.reset();
+    rnet.dyn.reset();
+    pending_repair = false;
+    return;
+  }
+  if (network_built) {
+    auto after_splice = [&](const auto& net) {
+      if (net.dyn.dead_edges > net.dyn.live_edges + 64) {
+        network_built = false;
+        pending_repair = false;
+      } else {
+        registry.counter("dyn.rebuilds_avoided").add();
+        pending_repair = true;
+      }
+    };
+    if (!options.dynamic) {
+      network_built = false;
+    } else if (integer_mode && inet.dyn.active) {
+      inet.splice_remove(slot);
+      after_splice(inet);
+    } else if (!integer_mode && rnet.dyn.active) {
+      rnet.splice_remove(slot);
+      after_splice(rnet);
+    } else {
+      network_built = false;
+    }
+  }
 }
 
 bool FeasibilityOracle::feasible(std::int64_t machines) {
@@ -965,8 +1726,8 @@ BoundSandwich FeasibilityOracle::bound_sandwich() {
   // infeasible strictly below the load bound / memo floor, certified
   // feasible at min_feasible (initially n, one job per machine).
   BoundSandwich out;
+  out.certificate.load_lb = im.lower_bound();  // refreshes density_lb too
   out.certificate.density_lb = im.density_lb;
-  out.certificate.load_lb = im.lower_bound();
   out.lo = std::max(out.certificate.load_lb, im.max_infeasible + 1);
   out.hi = im.min_feasible;
   return out;
@@ -975,6 +1736,14 @@ BoundSandwich FeasibilityOracle::bound_sandwich() {
 std::uint64_t FeasibilityOracle::probes_executed() const {
   return impl_->probes_executed;
 }
+
+JobId FeasibilityOracle::insert_job(const Job& job) {
+  return impl_->insert(job);
+}
+
+void FeasibilityOracle::remove_job(JobId id) { impl_->remove(id); }
+
+std::int64_t FeasibilityOracle::live_jobs() const { return impl_->job_count; }
 
 std::int64_t FeasibilityOracle::optimal_machines() {
   Impl& im = *impl_;
@@ -992,12 +1761,22 @@ std::int64_t FeasibilityOracle::optimal_machines() {
       return *hit;
     }
   }
+  // After an edit the memo shifts leave a bracket of at most two candidate
+  // values (insert: +1 on the ceiling only; remove: -1 on the floor only),
+  // so neither the sweep bound nor the sandwich can rule out a probe the
+  // memo hasn't already -- and recomputing them per event is exactly the
+  // per-query rebuild cost the splice path exists to avoid. Skip both when
+  // the dynamic bracket is already that tight; never-edited oracles are
+  // unaffected (dyn_mode only turns on at the first edit).
+  const bool memo_tight =
+      im.dyn_mode && im.min_feasible - im.max_infeasible <= 2;
   // Bound tier: the sandwich folds into the memo, so a pinched sandwich
   // makes both loops below vacuous (OPT returned with zero probes and no
   // network build) and an open one pre-narrows the bracket to [lo, hi).
-  if (im.bounds_active()) (void)im.sandwich();
+  if (im.bounds_active() && !memo_tight) (void)im.sandwich();
   obs::Registry& registry = obs::Registry::global();
-  const std::int64_t lb = im.lower_bound();
+  const std::int64_t lb =
+      memo_tight ? im.max_infeasible + 1 : im.lower_bound();
 
   if (!im.options.warm_start) {
     // Pre-warm-start search: gallop by doubling from the load lower bound

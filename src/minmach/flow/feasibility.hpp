@@ -63,9 +63,19 @@ struct OracleOptions {
   // Verdicts and OPT values are bit-identical either way -- both sides are
   // certified -- only probe counts and wall clock move.
   bool bounds = true;
+  // Fully-dynamic edits (DESIGN.md §15): insert_job()/remove_job() splice
+  // the live Horn network in place -- patch job edges and sink caps for
+  // only the affected event-point range, drain the removed flow, and let
+  // the next probe re-augment warm from the residual -- instead of
+  // rebuilding cold. Off, edits still work but mark the network stale, so
+  // the next probe pays a full rebuild over the live job set (the
+  // differential-test reference for the splice path). Never-edited oracles
+  // are unaffected either way: the dynamic layout is only adopted on the
+  // first edit.
+  bool dynamic = true;
 
   [[nodiscard]] static OracleOptions legacy() {
-    return {false, false, false, false, false};
+    return {false, false, false, false, false, false};
   }
 };
 
@@ -97,6 +107,27 @@ class FeasibilityOracle {
   // Memoized; probes the network only for verdicts not implied by
   // monotonicity or by the certified load lower bound.
   [[nodiscard]] bool feasible(std::int64_t machines);
+
+  // ---- dynamic edits (DESIGN.md §15) ----------------------------------
+  //
+  // The oracle's job set becomes mutable: insert_job admits a new job and
+  // returns its stable id, remove_job retires one. Ids for jobs from the
+  // constructor instance are their indices there; inserted jobs get the
+  // next unused id. With options.dynamic (the default) an already-built
+  // network is spliced in place and the routed flow repaired warm; with it
+  // off the next probe rebuilds from scratch over the live set. Either
+  // way every verdict afterwards is exactly the batch oracle's on the live
+  // job set, and the monotone memo carries across the edit via the sound
+  // shifts: an insert can only grow OPT, and by at most 1 (the new job
+  // alone fits one extra machine); a remove can only shrink it, by at most
+  // 1 (re-adding the removed job to a schedule needs at most one machine).
+  //
+  // insert_job throws std::invalid_argument on a malformed job or a
+  // malformed-constructed oracle; remove_job on an unknown/retired id.
+  JobId insert_job(const Job& job);
+  void remove_job(JobId id);
+  // Jobs currently admitted (constructor jobs plus inserts minus removes).
+  [[nodiscard]] std::int64_t live_jobs() const;
 
   // Exact migratory OPT: ascends from load_lower_bound() with warm-started
   // probes (galloping when the bound is loose, then binary-searching the

@@ -1,0 +1,36 @@
+// JSONL event replay for the session engine: one event object per line,
+// exact-rational times as strings (Rat::to_string "a/b" form, so replay is
+// lossless), e.g.
+//
+//   {"e":"release","s":0,"j":7,"r":"0","d":"5/2","p":"1"}
+//   {"e":"complete","s":0,"j":7}
+//   {"e":"query","s":0}
+//
+// parse_jsonl and to_jsonl are exact inverses on canonical streams, and
+// replay_events drives a fresh SessionEngine over a stream and returns its
+// deterministic report -- the replay determinism harness byte-compares the
+// reports from runs at different thread counts.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minmach/svc/engine.hpp"
+
+namespace minmach::svc {
+
+// Parses a JSONL event stream. Blank lines are skipped. Throws
+// std::invalid_argument (with the 1-based line number) on malformed JSON, an
+// unknown event tag, or a missing/mistyped field.
+[[nodiscard]] std::vector<Event> parse_jsonl(std::string_view text);
+
+// Serializes events to canonical JSONL (the format parse_jsonl reads).
+[[nodiscard]] std::string to_jsonl(const std::vector<Event>& events);
+
+// Replays a stream through a fresh SessionEngine (one ingest batch) and
+// returns engine.report_json().
+[[nodiscard]] std::string replay_events(const std::vector<Event>& events,
+                                        const EngineOptions& options = {});
+
+}  // namespace minmach::svc

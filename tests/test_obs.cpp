@@ -15,10 +15,13 @@
 #include "minmach/core/schedule.hpp"
 #include "minmach/flow/feasibility.hpp"
 #include "minmach/gen/generators.hpp"
+#include "minmach/obs/histogram.hpp"
 #include "minmach/obs/json.hpp"
 #include "minmach/obs/metrics.hpp"
+#include "minmach/obs/profile.hpp"
 #include "minmach/obs/report.hpp"
 #include "minmach/obs/trace.hpp"
+#include "minmach/svc/engine.hpp"
 #include "minmach/util/bigint.hpp"
 #include "minmach/util/hash.hpp"
 #include "minmach/util/opt_cache.hpp"
@@ -349,6 +352,107 @@ TEST(Metrics, BoundTierInvarianceOfSemanticSnapshots) {
   EXPECT_EQ(on.exec_histograms, on_parallel.exec_histograms);
   EXPECT_EQ(on.to_json(false, /*include_exec=*/true),
             on_parallel.to_json(false, /*include_exec=*/true));
+#endif
+  Registry::global().reset();
+}
+
+// Dynamic-oracle edits split their tallies across the two metric classes:
+// dyn.* records HOW a splice ran (edges patched, paths drained, rebuilds
+// avoided) and is execution-class, while svc.* records WHAT the session
+// layer was asked to do (releases, completes, queries, coalesced edits)
+// and is semantic -- it appears in deterministic reports. Both families
+// are pure functions of the event set (each session drains its bucket in
+// batch order regardless of which worker owns it), so a SessionEngine
+// ingest tallies identically at any thread count; and under --profile the
+// edit paths expose dyn_insert / dyn_remove / flow_repair spans plus the
+// per-event hist.event_ns latency histogram.
+TEST(Metrics, DynamicOracleTalliesClassifyAndMergeDeterministically) {
+  EXPECT_TRUE(is_exec_metric("dyn.inserts"));
+  EXPECT_TRUE(is_exec_metric("dyn.removes"));
+  EXPECT_TRUE(is_exec_metric("dyn.edges_patched"));
+  EXPECT_TRUE(is_exec_metric("dyn.rebuilds_avoided"));
+  EXPECT_TRUE(is_exec_metric("hist.event_ns"));
+  EXPECT_FALSE(is_exec_metric("svc.releases"));
+  EXPECT_FALSE(is_exec_metric("svc.completes"));
+  EXPECT_FALSE(is_exec_metric("svc.queries"));
+  EXPECT_FALSE(is_exec_metric("svc.coalesced"));
+
+#if MINMACH_OBS_ENABLED
+  auto job = [](int r, int d, int p) { return Job{Rat(r), Rat(d), Rat(p)}; };
+  std::vector<svc::Event> stream;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    for (int j = 0; j < 5; ++j) {
+      stream.push_back({svc::Event::Kind::kRelease, s, j,
+                        job(j, j + 4 + static_cast<int>(s % 3), 2)});
+      if (j % 2 == 1) {
+        stream.push_back({svc::Event::Kind::kQuery, s, 0, {}});
+      }
+    }
+    stream.push_back({svc::Event::Kind::kComplete, s, 1, {}});
+    stream.push_back({svc::Event::Kind::kQuery, s, 0, {}});
+  }
+  // Force probes: with the bound tier pinning every query the network is
+  // never built and splices have no routed edges to patch.
+  const bool saved_tier = bounds_tier_enabled();
+  set_bounds_tier_enabled(false);
+  auto run = [&](int threads) {
+    Registry& r = Registry::global();
+    (void)r.snapshot();  // drain residue from earlier tests
+    r.reset();
+    svc::EngineOptions options;
+    options.threads = threads;
+    svc::SessionEngine engine(options);
+    engine.ingest(stream);
+    return r.snapshot();
+  };
+  Snapshot single = run(1);
+  Snapshot parallel = run(4);
+  EXPECT_EQ(single.counters.at("svc.releases"), 30u);
+  EXPECT_EQ(single.counters.at("svc.completes"), 6u);
+  EXPECT_EQ(single.counters.at("svc.queries"), 18u);
+  EXPECT_GT(single.exec_counters.at("dyn.inserts"), 0u);
+  EXPECT_GT(single.exec_counters.at("dyn.edges_patched"), 0u);
+  // Routing: dyn.* never leaks into the semantic map and vice versa.
+  EXPECT_EQ(single.counters.count("dyn.inserts"), 0u);
+  EXPECT_EQ(single.exec_counters.count("svc.releases"), 0u);
+  EXPECT_EQ(single.counters, parallel.counters);
+  EXPECT_EQ(single.exec_counters, parallel.exec_counters);
+  EXPECT_EQ(single.to_json(), parallel.to_json());
+
+  Registry::global().reset();
+  LatencyRegistry::global().reset();
+  set_profiling(true);
+  {
+    FeasibilityOracle oracle{Instance{}};
+    const JobId a = oracle.insert_job(job(0, 4, 2));
+    (void)oracle.insert_job(job(1, 5, 2));
+    (void)oracle.optimal_machines();
+    oracle.remove_job(a);
+    (void)oracle.optimal_machines();
+  }
+  svc::SessionEngine engine(svc::EngineOptions{});
+  engine.ingest(stream);
+  set_profiling(false);
+  set_bounds_tier_enabled(saved_tier);
+  Snapshot profiled = Registry::global().snapshot();
+  auto span_calls = [&](std::string_view needle) {
+    std::uint64_t total = 0;
+    for (const auto& [name, value] : profiled.exec_counters) {
+      if (name.rfind("profile.", 0) == 0 &&
+          name.find(needle) != std::string::npos && name.size() >= 6 &&
+          name.compare(name.size() - 6, 6, ".calls") == 0) {
+        total += value;
+      }
+    }
+    return total;
+  };
+  EXPECT_GT(span_calls("dyn_insert"), 0u);
+  EXPECT_GT(span_calls("dyn_remove"), 0u);
+  EXPECT_GT(span_calls("flow_repair"), 0u);
+  const auto latencies = LatencyRegistry::global().summaries();
+  ASSERT_EQ(latencies.count("hist.event_ns"), 1u);
+  EXPECT_EQ(latencies.at("hist.event_ns").count, stream.size());
+  LatencyRegistry::global().reset();
 #endif
   Registry::global().reset();
 }

@@ -38,6 +38,13 @@ TEST(PerfdiffClassify, ByLeafName) {
             MetricClass::kHigherBetter);
   EXPECT_EQ(classify_metric("strong_lb_family.bounds.probes_skipped"),
             MetricClass::kHigherBetter);
+  // Dynamic-oracle repair counters: avoided rebuilds are work saved
+  // (higher-better, beating the "builds" count marker); patched edges are
+  // plain splice work (count).
+  EXPECT_EQ(classify_metric("insert_heavy.dyn.rebuilds_avoided"),
+            MetricClass::kHigherBetter);
+  EXPECT_EQ(classify_metric("insert_heavy.dyn.edges_patched"),
+            MetricClass::kCount);
   EXPECT_EQ(classify_metric("rows[n=250].fast_edge_visits"),
             MetricClass::kCount);
   EXPECT_EQ(classify_metric("fast_probes"), MetricClass::kCount);

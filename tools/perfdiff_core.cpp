@@ -131,6 +131,13 @@ MetricClass classify_metric(const std::string& label) {
       (leaf == "pinched" || leaf == "probes_skipped")) {
     return MetricClass::kHigherBetter;
   }
+  // Dynamic-oracle repair effectiveness: every avoided rebuild is a cold
+  // Horn-network construction the warm splice path saved, so fewer is a
+  // regression. Checked before the count markers -- "builds" would
+  // otherwise classify dyn.rebuilds_avoided as a plain count.
+  if (contains(label, "dyn.") && leaf == "rebuilds_avoided") {
+    return MetricClass::kHigherBetter;
+  }
   static constexpr const char* kCountMarkers[] = {
       "probes",  "passes", "paths",  "edges",      "visits",   "rounds",
       "steals",  "allocs", "ops",    "spills",     "promotions",
