@@ -19,6 +19,9 @@
 #include <utility>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
 #include "minmach/core/bounds.hpp"
 #include "minmach/obs/histogram.hpp"
 #include "minmach/obs/json.hpp"
@@ -26,6 +29,7 @@
 #include "minmach/obs/profile.hpp"
 #include "minmach/obs/report.hpp"
 #include "minmach/obs/trace.hpp"
+#include "minmach/store/pcache.hpp"
 #include "minmach/util/cli.hpp"
 #include "minmach/util/opt_cache.hpp"
 #include "minmach/util/parallel.hpp"
@@ -67,6 +71,33 @@ inline bool parse_onoff(Cli& cli, const std::string& flag, bool default_on) {
     std::exit(2);
   }
   return value == "on";
+}
+
+// Shared validation for path-valued driver flags (--corpus, --cache-file):
+// absent returns "" (the feature stays off); given, the path must be
+// non-empty and land in a writable location -- probed by opening for
+// append, removing the file again if the probe itself created it --
+// anything else exits 2 with the uniform diagnostic. Probing up front turns
+// "cache written to an unwritable path" from a silent no-op at the end of a
+// long run into an immediate CLI error.
+inline std::string path_flag(Cli& cli, const std::string& flag) {
+  if (!cli.was_given(flag)) return "";
+  const std::string path = cli.get_string(flag, "");
+  if (path.empty()) {
+    std::cerr << "error: --" << flag
+              << " requires a non-empty file path (omit the flag to disable)\n";
+    std::exit(2);
+  }
+  const bool existed = std::ifstream(path).good();
+  std::FILE* probe = std::fopen(path.c_str(), "ab");
+  if (probe == nullptr) {
+    std::cerr << "error: --" << flag << " path '" << path
+              << "' is not writable\n";
+    std::exit(2);
+  }
+  std::fclose(probe);
+  if (!existed) std::remove(path.c_str());
+  return path;
 }
 
 // Version tag for the BENCH_*.json artifacts the drivers emit. perfdiff
@@ -128,6 +159,16 @@ inline void write_bench_stamp(obs::JsonWriter& json) {
 // profiled run diffs clean against an un-profiled one outside those
 // sections. Like --threads/--cache/--simd, the flag is excluded from the
 // report config.
+//
+// Also reads the persistence knobs (DESIGN.md §16), both default off and
+// both reproducibility-neutral (persistence moves only wall clock and
+// store.*/cache.* execution-class metrics, never answers, so reports stay
+// byte-identical): --corpus=FILE names an instance-corpus path the driver
+// may freeze/reopen (exposed via corpus_path(); drivers without corpus
+// support simply ignore it), and --cache-file=FILE attaches a
+// store::PersistentCache as the OPT cache's disk tier for the run --
+// implying --cache on -- with a compacting flush on finish(). A
+// version-mismatched or corrupt cache file is refused at startup (exit 2).
 class Run {
  public:
   Run(Cli& cli, std::string experiment, std::string paper_claim) {
@@ -171,6 +212,22 @@ class Run {
     // the exact tier, which a sandwich that answers probes for free would
     // collapse. b01_bound_tier A/Bs the tier explicitly.
     set_bounds_tier_enabled(parse_onoff(cli, "bounds", false));
+    corpus_path_ = path_flag(cli, "corpus");
+    const std::string cache_file = path_flag(cli, "cache-file");
+    if (!cache_file.empty()) {
+      try {
+        cache_store_ = std::make_unique<store::PersistentCache>(cache_file);
+      } catch (const std::exception& error) {
+        std::cerr << "error: --cache-file: " << error.what() << "\n";
+        std::exit(2);
+      }
+      // A disk tier with no RAM tier in front would never be consulted:
+      // --cache-file implies --cache on.
+      if (!cache_on)
+        util::OptCache::global().configure(
+            true, static_cast<std::size_t>(cache_capacity));
+      util::OptCache::global().attach_store(cache_store_.get());
+    }
     profiling_ = parse_onoff(cli, "profile", false);
     profile_chrome_path_ = cli.get_string("profile-chrome", "");
     obs::Registry::global().reset();
@@ -210,11 +267,29 @@ class Run {
     }
   }
 
-  // Idempotent: drains hot tallies, snapshots the registry, writes the
-  // report if --report was given, and uninstalls the trace sink.
+  // The --corpus path, or "" when the flag was absent. Drivers with corpus
+  // support read/freeze their instance set there.
+  [[nodiscard]] const std::string& corpus_path() const { return corpus_path_; }
+
+  // Idempotent: detaches and compacts the persistent cache tier (if any),
+  // drains hot tallies, snapshots the registry, writes the report if
+  // --report was given, and uninstalls the trace sink.
   void finish() {
     if (finished_) return;
     finished_ = true;
+    if (cache_store_) {
+      // Detach before flushing so no concurrent lookup can race the
+      // compaction, and flush before the snapshot so the cache_flush span
+      // and final store.* tallies land in the report's metrics.
+      util::OptCache::global().attach_store(nullptr);
+      try {
+        cache_store_->flush();
+      } catch (const std::exception& error) {
+        std::cerr << "warning: persistent cache flush failed: "
+                  << error.what() << "\n";
+      }
+      cache_store_.reset();
+    }
     report_.metrics = obs::Registry::global().snapshot();
     report_.profiled = profiling_;
     if (profiling_) {
@@ -234,7 +309,9 @@ class Run {
   obs::RunReport report_;
   std::string report_path_;
   std::string profile_chrome_path_;
+  std::string corpus_path_;
   std::unique_ptr<obs::TraceSink> sink_;
+  std::unique_ptr<store::PersistentCache> cache_store_;
   bool profiling_ = false;
   bool finished_ = false;
 };

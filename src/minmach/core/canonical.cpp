@@ -79,4 +79,87 @@ util::Digest128 canonical_fingerprint(const Instance& instance) {
   return fingerprint(canonicalize(instance));
 }
 
+namespace {
+
+// Replicates hash_append(Hasher128&, BigInt) for a non-negative value that
+// fits one u64 limb: (sign, limb count, magnitude limbs) with zero encoded
+// as (0, 0). Keeping this in lockstep with hash.cpp is what makes the
+// column digest equal the Instance digest.
+void absorb_small(util::Hasher128& hasher, std::uint64_t value) {
+  if (value == 0) {
+    hasher.absorb(0);
+    hasher.absorb(0);
+  } else {
+    hasher.absorb(1);  // sign
+    hasher.absorb(1);  // limb count
+    hasher.absorb(value);
+  }
+}
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+struct ColumnTriple {
+  std::uint64_t r, d, p;
+  friend bool operator<(const ColumnTriple& a, const ColumnTriple& b) {
+    if (a.r != b.r) return a.r < b.r;
+    if (a.d != b.d) return a.d < b.d;
+    return a.p < b.p;
+  }
+};
+
+}  // namespace
+
+util::Digest128 canonical_fingerprint(const JobColumns& columns) {
+  obs::ProfileSpan span("fingerprint");
+  const std::size_t n = columns.count;
+  if (n == 0) {
+    CanonicalInstance empty;
+    return fingerprint(empty);
+  }
+
+  std::int64_t r_min = columns.release[0];
+  for (std::size_t j = 1; j < n; ++j)
+    r_min = std::min(r_min, columns.release[j]);
+
+  // Translate in u64 (wrap-defined; differences from the minimum are
+  // non-negative for releases, and for deadlines of well-formed jobs). The
+  // denominators are all 1, so the LCM step of canonicalize() is a no-op
+  // and only the instance-wide GCD remains.
+  std::vector<ColumnTriple> triples(n);
+  std::uint64_t gcd = 0;
+  const auto base = static_cast<std::uint64_t>(r_min);
+  for (std::size_t j = 0; j < n; ++j) {
+    ColumnTriple& t = triples[j];
+    t.r = static_cast<std::uint64_t>(columns.release[j]) - base;
+    t.d = static_cast<std::uint64_t>(columns.deadline[j]) - base;
+    t.p = static_cast<std::uint64_t>(columns.processing[j]);
+    gcd = gcd_u64(gcd_u64(gcd, t.r), gcd_u64(t.d, t.p));
+  }
+  if (gcd > 1) {
+    for (ColumnTriple& t : triples) {
+      t.r /= gcd;
+      t.d /= gcd;
+      t.p /= gcd;
+    }
+  }
+  std::sort(triples.begin(), triples.end());
+
+  util::Hasher128 hasher;
+  hasher.absorb(0x6d696e6d61636831ULL);  // domain tag: "minmach1"
+  hasher.absorb(n);
+  for (const ColumnTriple& t : triples) {
+    absorb_small(hasher, t.r);
+    absorb_small(hasher, t.d);
+    absorb_small(hasher, t.p);
+  }
+  return hasher.digest();
+}
+
 }  // namespace minmach

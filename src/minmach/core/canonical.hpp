@@ -62,4 +62,13 @@ struct CanonicalInstance {
 // job permutations, (in practice) distinct otherwise.
 [[nodiscard]] util::Digest128 canonical_fingerprint(const Instance& instance);
 
+// Column overload: identical digest to canonical_fingerprint over the
+// Instance with jobs {release[j], deadline[j], processing[j]}, computed
+// without materializing Jobs or BigInts (the columns are already on an
+// integer grid, so only the translate / gcd / sort steps remain). Because
+// the form quotients out t -> a*t, columns scaled by a denominator LCM
+// fingerprint identically to the rational original -- the property the
+// mmap'd corpus relies on to share the OPT cache with in-memory instances.
+[[nodiscard]] util::Digest128 canonical_fingerprint(const JobColumns& columns);
+
 }  // namespace minmach

@@ -911,6 +911,11 @@ struct FeasibilityOracle::Impl {
   std::int64_t lower_bound();
   void publish_flow_stats();
   void ensure_network();
+  // The public Instance constructor's normalization body (grid conversion,
+  // density bound, fingerprint), shared with the JobColumns constructor's
+  // fallback path. Assumes a freshly reset Impl.
+  void init_from_instance(const Instance& instance,
+                          const OracleOptions& options);
   JobId insert(const Job& job);
   void remove(JobId id);
   void enter_dyn_mode();
@@ -1003,7 +1008,12 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
   // Normalization only (grid conversion, density bound, fingerprint); the
   // network build has its own span inside ensure_network().
   obs::ProfileSpan span("oracle_norm");
-  Impl& im = *impl_;
+  impl_->init_from_instance(instance, options);
+}
+
+void FeasibilityOracle::Impl::init_from_instance(const Instance& instance,
+                                                 const OracleOptions& options) {
+  Impl& im = *this;
   im.options = options;
   im.empty = instance.empty();
   if (im.empty) return;
@@ -1091,6 +1101,81 @@ FeasibilityOracle::FeasibilityOracle(const Instance& instance,
   // The Horn network itself is NOT built here: ensure_network() builds it
   // on the first probe, so an answer served by the bound sandwich or the
   // OPT cache skips the build entirely.
+}
+
+FeasibilityOracle::FeasibilityOracle(const JobColumns& columns,
+                                     const OracleOptions& options)
+    : impl_(acquire_impl()) {
+  obs::ProfileSpan span("oracle_norm");
+  Impl& im = *impl_;
+  im.options = options;
+  im.empty = columns.count == 0;
+  if (im.empty) return;
+  const std::size_t n = columns.count;
+
+  // Zero-copy fast path: int64 columns (typically straight out of an
+  // mmap'd corpus, store/corpus.hpp) ARE the integer grid -- no Instance,
+  // no Rats, no lcm. The columns may be an affine image of the original
+  // rational instance; verdicts and OPT are invariant under that map, so
+  // grid_scale stays 1 and later insert_job() calls must supply jobs in the
+  // SAME (scaled) coordinates. Values outside the 62-bit guard or a total
+  // work overflowing int64 fall back to the materialized-Instance path,
+  // which reproduces the Instance constructor exactly.
+  constexpr std::int64_t kMaxAbs = (std::int64_t{1} << 62) - 1;
+  bool small = true;
+  bool well = true;
+  __int128 total = 0;
+  for (std::size_t j = 0; j < n && small; ++j) {
+    const std::int64_t r = columns.release[j];
+    const std::int64_t d = columns.deadline[j];
+    const std::int64_t p = columns.processing[j];
+    small = r >= -kMaxAbs && r <= kMaxAbs && d >= -kMaxAbs && d <= kMaxAbs &&
+            p >= -kMaxAbs && p <= kMaxAbs;
+    if (!small) break;
+    well = well && p > 0 && p <= d - r;
+    total += p;
+  }
+  if (!small || total > INT64_MAX) {
+    Instance fallback;
+    for (std::size_t j = 0; j < n; ++j)
+      fallback.add_job({Rat(columns.release[j]), Rat(columns.deadline[j]),
+                        Rat(columns.processing[j])});
+    im.init_from_instance(fallback, options);
+    return;
+  }
+
+  im.well_formed = well;
+  if (!im.well_formed) return;
+  im.job_count = static_cast<std::int64_t>(n);
+  im.min_feasible = im.job_count;
+
+  if (util::OptCache::global().enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    obs::ScopedTimer timer(reg.timing("cache.fingerprint_ns"));
+    im.fp = canonical_fingerprint(columns);
+    im.has_fp = true;
+    reg.counter("cache.fingerprints").add();
+  }
+
+  im.integer_mode = true;
+  OracleNet<__int128>& net = im.inet;
+  net.accel = options.simd && util::simd::active();
+  net.release.assign(columns.release, columns.release + n);
+  net.deadline.assign(columns.deadline, columns.deadline + n);
+  net.processing.assign(columns.processing, columns.processing + n);
+  std::vector<std::int64_t> ipoints;
+  ipoints.reserve(2 * n);
+  ipoints.insert(ipoints.end(), columns.release, columns.release + n);
+  ipoints.insert(ipoints.end(), columns.deadline, columns.deadline + n);
+  std::sort(ipoints.begin(), ipoints.end());
+  ipoints.erase(std::unique(ipoints.begin(), ipoints.end()), ipoints.end());
+  const std::int64_t ispan = ipoints.back() - ipoints.front();
+  if (ispan > 0) {
+    im.density_lb = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>((total + ispan - 1) / ispan));
+  }
+  net.points.assign(ipoints.begin(), ipoints.end());
+  obs::Registry::global().counter("store.corpus_zero_copy").add();
 }
 
 void FeasibilityOracle::Impl::ensure_network() {

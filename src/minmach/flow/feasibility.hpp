@@ -99,6 +99,18 @@ class FeasibilityOracle {
  public:
   explicit FeasibilityOracle(const Instance& instance,
                              const OracleOptions& options = {});
+  // Zero-copy construction from int64 SoA columns (typically an mmap'd
+  // corpus InstanceView, store/corpus.hpp): the columns are adopted as the
+  // integer grid directly -- no Instance, no rational normalization. The
+  // columns may be an affine image (t -> scale * t) of a rational
+  // instance; feasibility and OPT are invariant under that map, so answers
+  // equal the original's, but jobs passed to insert_job() later must be in
+  // the same scaled coordinates. The columns are copied into the oracle's
+  // arrays during construction and need not outlive the call. Values
+  // outside the integer fast path's 62-bit guard fall back to the exact
+  // path, reproducing the Instance constructor bit for bit.
+  explicit FeasibilityOracle(const JobColumns& columns,
+                             const OracleOptions& options = {});
   ~FeasibilityOracle();
   FeasibilityOracle(FeasibilityOracle&&) noexcept;
   FeasibilityOracle& operator=(FeasibilityOracle&&) noexcept;

@@ -107,7 +107,7 @@ Histogram& Registry::timing(const std::string& name) {
 bool is_exec_metric(std::string_view name) {
   static constexpr std::string_view kPrefixes[] = {
       "oracle.", "flow.", "cache.", "speculate.", "bigint.", "rat.", "mem.",
-      "simd.", "profile.", "hist.", "bounds.", "dyn."};
+      "simd.", "profile.", "hist.", "bounds.", "dyn.", "store."};
   for (std::string_view prefix : kPrefixes) {
     if (name.substr(0, prefix.size()) == prefix) return true;
   }

@@ -1,0 +1,267 @@
+#include "minmach/store/corpus.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "minmach/io/serialize.hpp"
+#include "minmach/obs/profile.hpp"
+#include "minmach/util/bigint.hpp"
+
+namespace minmach::store {
+
+namespace {
+
+constexpr std::size_t kHeaderChecksumOffset =
+    sizeof(CorpusHeader) - sizeof(std::uint64_t);
+
+// Largest denominator LCM we scale onto an int64 grid. 40 bits of scale
+// leaves 22 bits of headroom before typical gen/ horizons push a scaled
+// value past the 62-bit guard below.
+constexpr std::size_t kMaxScaleBits = 40;
+constexpr std::size_t kMaxScaledBits = 62;
+
+// value * (lcm / value.den()) -- exact because lcm is a multiple of den.
+bool scale_to_i64(const Rat& value, const BigInt& lcm, std::int64_t& out) {
+  const BigInt scaled = value.num() * (lcm / value.den());
+  if (scaled.bit_length() > kMaxScaledBits) return false;
+  out = scaled.to_int64();
+  return true;
+}
+
+bool fits_i64(const Rat& value, std::int64_t& num, std::int64_t& den) {
+  if (!value.num().fits_int64() || !value.den().fits_int64()) return false;
+  num = value.num().to_int64();
+  den = value.den().to_int64();
+  return true;
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("store: corpus " + path + ": " + what);
+}
+
+}  // namespace
+
+void CorpusWriter::add(const Instance& instance) {
+  InstanceRecord rec;
+  rec.job_count = instance.size();
+
+  const BigInt lcm = instance.denominator_lcm();
+  if (lcm.bit_length() <= kMaxScaleBits) {
+    std::int64_t scaled[3];
+    std::vector<std::int64_t> cols[3];
+    bool fits = true;
+    for (const Job& job : instance.jobs()) {
+      fits = scale_to_i64(job.release, lcm, scaled[0]) &&
+             scale_to_i64(job.deadline, lcm, scaled[1]) &&
+             scale_to_i64(job.processing, lcm, scaled[2]);
+      if (!fits) break;
+      for (int c = 0; c < 3; ++c) cols[c].push_back(scaled[c]);
+    }
+    if (fits) {
+      rec.kind = InstanceRecord::kInt64Grid;
+      rec.scale = lcm.to_int64();
+      rec.job_begin = i64_[0].size();
+      for (int c = 0; c < 3; ++c)
+        i64_[c].insert(i64_[c].end(), cols[c].begin(), cols[c].end());
+      records_.push_back(rec);
+      return;
+    }
+  }
+
+  // Rational side-table: exact numerator/denominator columns.
+  {
+    std::vector<std::int64_t> cols[6];
+    bool fits = true;
+    for (const Job& job : instance.jobs()) {
+      const Rat* fields[3] = {&job.release, &job.deadline, &job.processing};
+      for (int f = 0; fits && f < 3; ++f) {
+        std::int64_t num = 0;
+        std::int64_t den = 1;
+        fits = fits_i64(*fields[f], num, den);
+        if (fits) {
+          cols[2 * f].push_back(num);
+          cols[2 * f + 1].push_back(den);
+        }
+      }
+      if (!fits) break;
+    }
+    if (fits) {
+      rec.kind = InstanceRecord::kRational;
+      rec.scale = 1;
+      rec.job_begin = rat_[0].size();
+      for (int c = 0; c < 6; ++c)
+        rat_[c].insert(rat_[c].end(), cols[c].begin(), cols[c].end());
+      records_.push_back(rec);
+      return;
+    }
+  }
+
+  // Last resort, exact for ANY instance: the io/serialize text form (deep
+  // strong-lb slices grow numerators past int64). job_begin/scale become
+  // byte offset/length into the shared text blob.
+  const std::string text = to_text(instance);
+  rec.kind = InstanceRecord::kBigText;
+  rec.job_begin = text_.size();
+  rec.scale = static_cast<std::int64_t>(text.size());
+  text_ += text;
+  records_.push_back(rec);
+}
+
+void CorpusWriter::write(const std::string& path) const {
+  CorpusHeader header;
+  header.instance_count = records_.size();
+  header.i64_jobs = i64_[0].size();
+  header.rat_jobs = rat_[0].size();
+  header.text_bytes = text_.size();
+
+  std::vector<std::byte> payload;
+  auto append = [&payload](const void* data, std::size_t bytes) {
+    const auto* src = static_cast<const std::byte*>(data);
+    payload.insert(payload.end(), src, src + bytes);
+  };
+  append(records_.data(), records_.size() * sizeof(InstanceRecord));
+  for (const auto& col : i64_)
+    append(col.data(), col.size() * sizeof(std::int64_t));
+  for (const auto& col : rat_)
+    append(col.data(), col.size() * sizeof(std::int64_t));
+  append(text_.data(), text_.size());
+
+  header.payload_bytes = payload.size();
+  header.payload_checksum = checksum64(payload.data(), payload.size());
+  header.header_checksum = checksum64(&header, kHeaderChecksumOffset);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("store: cannot write " + tmp);
+    }
+  }
+  // rename() is atomic on POSIX: readers see the old complete file or the
+  // new complete file, and open mappings keep the old inode.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("store: cannot rename " + tmp + " to " + path);
+  }
+}
+
+Corpus::Corpus(const std::string& path, CorpusOpenOptions options)
+    : path_(path), file_(path) {
+  obs::ProfileSpan span("corpus_open");
+  if (file_.size() < sizeof(CorpusHeader))
+    fail(path_, "truncated (smaller than header)");
+  std::memcpy(&header_, file_.data(), sizeof(header_));
+
+  if (header_.magic != kCorpusMagic) fail(path_, "bad magic (not a corpus)");
+  if (header_.endian_guard != kEndianGuard)
+    fail(path_, "endianness mismatch (file written on an incompatible "
+                "byte-order host)");
+  if (header_.format_version != kCorpusFormatVersion)
+    fail(path_, "format version " + std::to_string(header_.format_version) +
+                " unsupported (expected " +
+                std::to_string(kCorpusFormatVersion) + ")");
+  if (checksum64(file_.data(), kHeaderChecksumOffset) !=
+      header_.header_checksum)
+    fail(path_, "header checksum mismatch");
+  if (file_.size() != sizeof(CorpusHeader) + header_.payload_bytes)
+    fail(path_, "payload size mismatch");
+
+  const std::uint64_t records_bytes =
+      header_.instance_count * sizeof(InstanceRecord);
+  const std::uint64_t expected = records_bytes +
+                                 3 * header_.i64_jobs * sizeof(std::int64_t) +
+                                 6 * header_.rat_jobs * sizeof(std::int64_t) +
+                                 header_.text_bytes;
+  if (header_.payload_bytes != expected) fail(path_, "column layout mismatch");
+
+  const std::byte* cursor = file_.data() + sizeof(CorpusHeader);
+  records_ = reinterpret_cast<const InstanceRecord*>(cursor);
+  records_count_ = header_.instance_count;
+  cursor += records_bytes;
+  for (auto& col : i64_cols_) {
+    col = reinterpret_cast<const std::int64_t*>(cursor);
+    cursor += header_.i64_jobs * sizeof(std::int64_t);
+  }
+  for (auto& col : rat_cols_) {
+    col = reinterpret_cast<const std::int64_t*>(cursor);
+    cursor += header_.rat_jobs * sizeof(std::int64_t);
+  }
+  text_ = reinterpret_cast<const char*>(cursor);
+
+  for (std::size_t i = 0; i < records_count_; ++i) {
+    const InstanceRecord& rec = records_[i];
+    bool ok = rec.scale >= 1;
+    if (rec.kind == InstanceRecord::kInt64Grid ||
+        rec.kind == InstanceRecord::kRational) {
+      // job_begin/job_count index the kind's column family.
+      const std::uint64_t jobs = rec.kind == InstanceRecord::kInt64Grid
+                                     ? header_.i64_jobs
+                                     : header_.rat_jobs;
+      ok = ok && rec.job_begin <= jobs && rec.job_count <= jobs - rec.job_begin;
+    } else if (rec.kind == InstanceRecord::kBigText) {
+      // job_begin/scale are a byte range into the text blob.
+      const std::uint64_t len = static_cast<std::uint64_t>(rec.scale);
+      ok = ok && rec.job_begin <= header_.text_bytes &&
+           len <= header_.text_bytes - rec.job_begin;
+    } else {
+      ok = false;
+    }
+    if (!ok) fail(path_, "invalid instance record " + std::to_string(i));
+  }
+
+  if (options.verify_payload) verify();
+}
+
+void Corpus::verify() const {
+  const std::byte* payload = file_.data() + sizeof(CorpusHeader);
+  if (checksum64(payload, header_.payload_bytes) != header_.payload_checksum)
+    fail(path_, "payload checksum mismatch");
+}
+
+InstanceView Corpus::view(std::size_t index) const {
+  const InstanceRecord& rec = records_[index];
+  InstanceView view;
+  view.record_ = &rec;
+  if (rec.kind == InstanceRecord::kInt64Grid) {
+    view.release_ = i64_cols_[0] + rec.job_begin;
+    view.deadline_ = i64_cols_[1] + rec.job_begin;
+    view.processing_ = i64_cols_[2] + rec.job_begin;
+  } else if (rec.kind == InstanceRecord::kRational) {
+    for (int c = 0; c < 6; ++c)
+      view.rat_cols_[c] = rat_cols_[c] + rec.job_begin;
+  } else {
+    view.text_ = text_ + rec.job_begin;
+  }
+  return view;
+}
+
+Job InstanceView::job(std::size_t index) const {
+  if (int64_grid()) {
+    const std::int64_t scale = record_->scale;
+    return {Rat(release_[index], scale), Rat(deadline_[index], scale),
+            Rat(processing_[index], scale)};
+  }
+  if (record_->kind == InstanceRecord::kRational)
+    return {Rat(rat_cols_[0][index], rat_cols_[1][index]),
+            Rat(rat_cols_[2][index], rat_cols_[3][index]),
+            Rat(rat_cols_[4][index], rat_cols_[5][index])};
+  return materialize().jobs()[index];  // kBigText: O(instance) per call
+}
+
+Instance InstanceView::materialize() const {
+  if (record_->kind == InstanceRecord::kBigText)
+    return instance_from_text(std::string_view(
+        text_, static_cast<std::size_t>(record_->scale)));
+  Instance out;
+  for (std::size_t i = 0; i < size(); ++i) out.add_job(job(i));
+  return out;
+}
+
+}  // namespace minmach::store

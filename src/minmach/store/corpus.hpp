@@ -1,0 +1,180 @@
+// Memory-mapped columnar instance corpus (DESIGN.md §16).
+//
+// A corpus freezes a set of instances into one immutable file laid out SoA:
+// a 128-byte header, a directory of fixed-size instance records, then the
+// int64 `r` / `d` / `p` columns, then the rational side-table (numerator /
+// denominator columns) for instances that do not land on a small integer
+// grid, then a text blob holding the io/serialize form of instances whose
+// rationals exceed even int64 numerators/denominators (deep strong-lb
+// slices) -- the writer is total: every well-formed Instance freezes.
+// Opening is zero-copy: the header and directory are validated in
+// O(1) (magic, format version, endianness guard, header checksum) and the
+// columns are consumed straight out of the mapping -- the oracle's and the
+// session engine's int64 fast paths read `JobColumns` pointers into the
+// file with no `Instance` materialized.
+//
+// Integer encoding of rational grids: an instance whose denominator LCM is
+// small is stored as its affine image t -> lcm * t, i.e. int64 columns plus
+// a per-instance `scale`. OPT, feasibility(m), and the affine-canonical
+// fingerprint are invariant under that map (DESIGN.md §11), so consumers
+// that only need answers (the oracle, the cache) use the scaled columns
+// directly; `InstanceView::job()` divides the scale back out for consumers
+// that need original time coordinates.
+//
+// Torn-write posture: the writer builds the whole file in memory, writes a
+// temporary sibling, and rename()s it into place, so a corpus path either
+// holds a complete old version or a complete new one. The payload checksum
+// covers everything after the header; verification is optional at open
+// (`verify_payload`) because the O(1)-reopen guarantee is the point of the
+// format, and explicit via `verify()`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minmach/core/instance.hpp"
+#include "minmach/store/mmap_file.hpp"
+
+namespace minmach::store {
+
+inline constexpr std::uint64_t kCorpusMagic = 0x315350524F434D4DULL;  // "MMCORPS1"
+inline constexpr std::uint32_t kCorpusFormatVersion = 1;
+inline constexpr std::uint32_t kEndianGuard = 0x01020304;
+
+// On-disk header, 128 bytes, little-endian int fields. `header_checksum` is
+// checksum64 over the preceding 120 bytes and is always verified at open;
+// `payload_checksum` covers every byte after the header and is verified
+// when asked (open option or verify()).
+struct CorpusHeader {
+  std::uint64_t magic = kCorpusMagic;
+  std::uint32_t format_version = kCorpusFormatVersion;
+  std::uint32_t endian_guard = kEndianGuard;
+  std::uint64_t instance_count = 0;
+  std::uint64_t i64_jobs = 0;    // total jobs across int64-grid instances
+  std::uint64_t rat_jobs = 0;    // total jobs across rational instances
+  std::uint64_t text_bytes = 0;  // big-rational text blob length
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t payload_checksum = 0;
+  std::uint64_t reserved[7] = {};
+  std::uint64_t header_checksum = 0;
+};
+static_assert(sizeof(CorpusHeader) == 128);
+
+// Directory entry, 32 bytes. `job_begin` indexes the column family selected
+// by `kind`: int64 columns for kInt64Grid, the rational side-table for
+// kRational, and a BYTE offset into the text blob for kBigText (whose
+// `scale` field holds the blob length in bytes instead of a grid scale).
+struct InstanceRecord {
+  static constexpr std::uint32_t kInt64Grid = 0;
+  static constexpr std::uint32_t kRational = 1;
+  static constexpr std::uint32_t kBigText = 2;
+
+  std::uint64_t job_begin = 0;
+  std::uint64_t job_count = 0;
+  std::int64_t scale = 1;  // denominator LCM the int64 columns are scaled by
+  std::uint32_t kind = kInt64Grid;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(InstanceRecord) == 32);
+
+class Corpus;
+
+// Borrowed view of one instance inside an open corpus. Cheap to copy; valid
+// while the corpus is open.
+class InstanceView {
+ public:
+  [[nodiscard]] std::size_t size() const { return record_->job_count; }
+  // True when the instance is stored as scaled int64 columns (the zero-copy
+  // fast path); false for the rational side-table.
+  [[nodiscard]] bool int64_grid() const {
+    return record_->kind == InstanceRecord::kInt64Grid;
+  }
+  [[nodiscard]] std::int64_t scale() const { return record_->scale; }
+
+  // int64-grid accessors; meaningless (null) for rational instances.
+  [[nodiscard]] const std::int64_t* release() const { return release_; }
+  [[nodiscard]] const std::int64_t* deadline() const { return deadline_; }
+  [[nodiscard]] const std::int64_t* processing() const { return processing_; }
+  [[nodiscard]] JobColumns columns() const {
+    return {release_, deadline_, processing_, record_->job_count};
+  }
+
+  // The job in ORIGINAL time coordinates (scale divided back out on the
+  // int64 path, exact rational reconstruction on the side-table path).
+  // O(instance) per call for kBigText instances (the text blob is parsed
+  // whole) -- batch consumers should materialize() those once instead.
+  [[nodiscard]] Job job(std::size_t index) const;
+
+  // Full Instance copy in original coordinates; round-trips byte-exactly
+  // through io/serialize against the instance the writer was fed.
+  [[nodiscard]] Instance materialize() const;
+
+ private:
+  friend class Corpus;
+  const InstanceRecord* record_ = nullptr;
+  const std::int64_t* release_ = nullptr;
+  const std::int64_t* deadline_ = nullptr;
+  const std::int64_t* processing_ = nullptr;
+  // Rational side-table columns (numerator/denominator per field).
+  const std::int64_t* rat_cols_[6] = {};
+  const char* text_ = nullptr;  // kBigText: io/serialize blob start
+};
+
+// Accumulates instances and freezes them into a corpus file.
+class CorpusWriter {
+ public:
+  // Total over well-formed instances: small denominator LCMs freeze as a
+  // scaled int64 grid, int64-representable rationals as the side-table,
+  // and anything bigger as an exact io/serialize text blob.
+  void add(const Instance& instance);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  // Writes tmp + rename; throws std::runtime_error on IO failure. The
+  // writer can keep accumulating and write again afterwards.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<InstanceRecord> records_;
+  std::vector<std::int64_t> i64_[3];      // r, d, p
+  std::vector<std::int64_t> rat_[6];      // rn, rd, dn, dd, pn, pd
+  std::string text_;                      // big-rational io/serialize blobs
+};
+
+struct CorpusOpenOptions {
+  // Verify the payload checksum at open (one pass over the mapping). Off
+  // for latency-sensitive reopens; the header checksum is checked always.
+  bool verify_payload = true;
+};
+
+// Zero-copy reader. The constructor maps the file, validates the header
+// (and optionally the payload), and wires the column base pointers; views
+// then cost a few adds. Throws std::runtime_error with a diagnostic naming
+// the failing guard (missing file, bad magic, version or endianness
+// mismatch, checksum mismatch, truncation).
+class Corpus {
+ public:
+  explicit Corpus(const std::string& path, CorpusOpenOptions options = {});
+
+  [[nodiscard]] std::size_t size() const { return records_count_; }
+  [[nodiscard]] InstanceView view(std::size_t index) const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t mapped_bytes() const { return file_.size(); }
+
+  // Full payload checksum audit; throws std::runtime_error on mismatch.
+  void verify() const;
+
+ private:
+  std::string path_;
+  MappedFile file_;
+  CorpusHeader header_;
+  const InstanceRecord* records_ = nullptr;
+  std::size_t records_count_ = 0;
+  const std::int64_t* i64_cols_[3] = {};
+  const std::int64_t* rat_cols_[6] = {};
+  const char* text_ = nullptr;
+};
+
+}  // namespace minmach::store

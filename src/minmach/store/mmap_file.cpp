@@ -1,0 +1,122 @@
+#include "minmach/store/mmap_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "minmach/obs/metrics.hpp"
+#include "minmach/util/hash.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define MINMACH_STORE_HAS_MMAP 1
+#else
+#define MINMACH_STORE_HAS_MMAP 0
+#endif
+
+namespace minmach::store {
+
+std::uint64_t checksum64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t acc = 0x9e3779b97f4a7c15ULL ^ size;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes + i, 8);
+    acc = util::mix64(acc ^ word);
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t k = 0; i + k < size; ++k)
+    tail |= static_cast<std::uint64_t>(bytes[i + k]) << (8 * k);
+  return util::mix64(acc ^ tail ^ (size << 56 | size));
+}
+
+namespace {
+
+// Heap fallback shared by the no-mmap platform path and mmap failures on a
+// readable file. Returns an owned buffer the MappedFile frees as byte[].
+const std::byte* read_whole_file(const std::string& path, std::size_t size) {
+  auto* buffer = new std::byte[size == 0 ? 1 : size];
+  std::ifstream in(path, std::ios::binary);
+  if (!in || !in.read(reinterpret_cast<char*>(buffer),
+                      static_cast<std::streamsize>(size))) {
+    delete[] buffer;
+    throw std::runtime_error("store: cannot read " + path);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) {
+#if MINMACH_STORE_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("store: cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("store: cannot stat " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    return;  // empty file: valid, nothing to map
+  }
+  void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the inode
+  if (addr != MAP_FAILED) {
+    data_ = static_cast<const std::byte*>(addr);
+    mapped_ = true;
+    obs::Registry::global().counter("store.mmap_bytes").add(size_);
+    return;
+  }
+  data_ = read_whole_file(path, size_);
+#else
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  if (!probe) throw std::runtime_error("store: cannot open " + path);
+  size_ = static_cast<std::size_t>(probe.tellg());
+  probe.close();
+  if (size_ == 0) return;
+  data_ = read_whole_file(path, size_);
+#endif
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+void MappedFile::reset() {
+  if (data_ != nullptr) {
+#if MINMACH_STORE_HAS_MMAP
+    if (mapped_) {
+      ::munmap(const_cast<std::byte*>(data_), size_);
+    } else {
+      delete[] data_;
+    }
+#else
+    delete[] data_;
+#endif
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+}  // namespace minmach::store

@@ -1,0 +1,60 @@
+// Zero-copy file access for the persistence layer (DESIGN.md §16): a
+// read-only shared memory mapping plus the checksum primitive every on-disk
+// format in store/ stamps its headers and payloads with.
+//
+// The mapping is immutable-by-contract: writers never modify a mapped file
+// in place. The corpus writer and the cache compactor both write a
+// temporary sibling and rename() it over the old file, so an open mapping
+// keeps addressing the old inode (POSIX keeps it alive until the last
+// mapping drops) and readers are never exposed to a half-written file. The
+// append-only WAL is the one file written while readers may be looking; it
+// is read with plain buffered IO, never mapped, exactly because a mapping
+// could observe a page mid-write.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace minmach::store {
+
+// Word-chained mix64 checksum over a byte range. Not cryptographic: the
+// target is detecting torn writes, truncation, and byte flips in corpus and
+// cache files, where any avalanche-quality 64-bit fold does the job. The
+// trailing partial word is length-padded so "abc" and "abc\0" differ.
+[[nodiscard]] std::uint64_t checksum64(const void* data, std::size_t size);
+
+// Read-only shared mapping of a whole file. Move-only; unmaps on
+// destruction. On platforms without mmap (or when mapping fails for an
+// otherwise readable file) it degrades to a heap copy of the contents --
+// callers see identical bytes either way, only "store.mmap_bytes" stops
+// counting. Successful maps tally their size into "store.mmap_bytes".
+class MappedFile {
+ public:
+  MappedFile() = default;
+  // Throws std::runtime_error if the file cannot be opened, sized, or read.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const std::byte* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  // True when the bytes come from an actual memory mapping (zero-copy), as
+  // opposed to the heap-copy fallback.
+  [[nodiscard]] bool mapped() const { return mapped_; }
+
+  // Unmaps/frees and returns to the default-constructed state.
+  void reset();
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace minmach::store

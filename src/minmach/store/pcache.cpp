@@ -1,0 +1,243 @@
+#include "minmach/store/pcache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <stdexcept>
+#include <vector>
+
+#include "minmach/obs/metrics.hpp"
+#include "minmach/obs/profile.hpp"
+
+namespace minmach::store {
+
+namespace {
+
+constexpr std::size_t kHeaderChecksumOffset =
+    sizeof(CacheHeader) - sizeof(std::uint64_t);
+constexpr std::size_t kWalRecordBytes =
+    sizeof(CacheEntry) + sizeof(std::uint64_t);
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("store: cache " + path + ": " + what);
+}
+
+bool entry_less(const CacheEntry& a, const CacheEntry& b) {
+  return std::tie(a.hi, a.lo, a.key) < std::tie(b.hi, b.lo, b.key);
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+}  // namespace
+
+PersistentCache::PersistentCache(const std::string& path)
+    : path_(path), wal_path_(path + ".wal") {
+  open_table();
+  replay_wal();
+}
+
+PersistentCache::~PersistentCache() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; the unflushed WAL replays at next open.
+  }
+}
+
+void PersistentCache::open_table() {
+  if (!file_exists(path_)) return;  // fresh cache: empty table, header defaults
+  table_file_ = MappedFile(path_);
+  if (table_file_.size() < sizeof(CacheHeader))
+    fail(path_, "truncated (smaller than header)");
+  std::memcpy(&header_, table_file_.data(), sizeof(header_));
+
+  if (header_.magic != kCacheMagic) fail(path_, "bad magic (not a cache)");
+  if (header_.endian_guard != kEndianGuard)
+    fail(path_, "endianness mismatch (file written on an incompatible "
+                "byte-order host)");
+  if (header_.format_version != kCacheFormatVersion)
+    fail(path_, "format version " + std::to_string(header_.format_version) +
+                " unsupported (expected " +
+                std::to_string(kCacheFormatVersion) + ")");
+  if (header_.schema_version != kCacheSchemaVersion)
+    fail(path_, "schema version " + std::to_string(header_.schema_version) +
+                " incompatible (expected " +
+                std::to_string(kCacheSchemaVersion) + ")");
+  if (checksum64(table_file_.data(), kHeaderChecksumOffset) !=
+      header_.header_checksum)
+    fail(path_, "header checksum mismatch");
+  if (table_file_.size() !=
+      sizeof(CacheHeader) + header_.entry_count * sizeof(CacheEntry))
+    fail(path_, "payload size mismatch");
+  const std::byte* payload = table_file_.data() + sizeof(CacheHeader);
+  if (checksum64(payload, header_.entry_count * sizeof(CacheEntry)) !=
+      header_.payload_checksum)
+    fail(path_, "payload checksum mismatch");
+  entries_ = reinterpret_cast<const CacheEntry*>(payload);
+}
+
+void PersistentCache::replay_wal() {
+  std::ifstream in(wal_path_, std::ios::binary);
+  if (!in) return;  // no WAL: clean shutdown last time (or fresh cache)
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  std::size_t consumed = 0;
+  while (bytes.size() - consumed >= kWalRecordBytes) {
+    CacheEntry entry;
+    std::uint64_t checksum;
+    std::memcpy(&entry, bytes.data() + consumed, sizeof(entry));
+    std::memcpy(&checksum, bytes.data() + consumed + sizeof(entry),
+                sizeof(checksum));
+    // A record that fails its checksum ends the trustworthy prefix: a torn
+    // write can only be at the tail, and anything after it is garbage.
+    if (checksum64(&entry, sizeof(entry)) != checksum) break;
+    consumed += kWalRecordBytes;
+    overlay_[OverlayKey{entry.hi, entry.lo, entry.key}] = entry.value;
+  }
+  wal_dropped_bytes_ = bytes.size() - consumed;
+}
+
+std::optional<std::int64_t> PersistentCache::table_find(
+    const util::Digest128& fp, std::int64_t key) const {
+  if (entries_ == nullptr) return std::nullopt;
+  CacheEntry probe;
+  probe.hi = fp.hi;
+  probe.lo = fp.lo;
+  probe.key = key;
+  const CacheEntry* end = entries_ + header_.entry_count;
+  const CacheEntry* it = std::lower_bound(entries_, end, probe, entry_less);
+  if (it != end && it->hi == fp.hi && it->lo == fp.lo && it->key == key)
+    return it->value;
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> PersistentCache::load(const util::Digest128& fp,
+                                                  std::int64_t key) {
+  std::optional<std::int64_t> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = overlay_.find(OverlayKey{fp.hi, fp.lo, key});
+    if (it != overlay_.end()) {
+      out = it->second;
+    } else {
+      out = table_find(fp, key);
+    }
+  }
+  if (out) obs::Registry::global().counter("store.hits_disk").add();
+  return out;
+}
+
+void PersistentCache::store(const util::Digest128& fp, std::int64_t key,
+                            std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Dedup against what is already durable: without this, every warm run
+  // would re-append its whole working set to the WAL.
+  auto it = overlay_.find(OverlayKey{fp.hi, fp.lo, key});
+  if (it != overlay_.end()) {
+    if (it->second == value) return;
+  } else if (table_find(fp, key) == value) {
+    return;
+  }
+  overlay_[OverlayKey{fp.hi, fp.lo, key}] = value;
+
+  if (!wal_out_.is_open())
+    wal_out_.open(wal_path_, std::ios::binary | std::ios::app);
+  CacheEntry entry{fp.hi, fp.lo, key, value};
+  const std::uint64_t checksum = checksum64(&entry, sizeof(entry));
+  wal_out_.write(reinterpret_cast<const char*>(&entry), sizeof(entry));
+  wal_out_.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  wal_out_.flush();
+  obs::Registry::global().counter("store.wal_appends").add();
+}
+
+void PersistentCache::flush() {
+  obs::ProfileSpan span("cache_flush");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (overlay_.empty()) {
+    // Nothing to compact; still retire a WAL that held only a torn tail.
+    if (wal_dropped_bytes_ > 0 && !wal_out_.is_open()) {
+      std::remove(wal_path_.c_str());
+      wal_dropped_bytes_ = 0;
+    }
+    return;
+  }
+
+  // Merge: table entries not shadowed by the overlay, plus the overlay,
+  // already sorted because the overlay map and the table share the key
+  // order.
+  std::vector<CacheEntry> merged;
+  merged.reserve(header_.entry_count + overlay_.size());
+  const CacheEntry* table = entries_;
+  const std::size_t table_count = entries_ ? header_.entry_count : 0;
+  std::size_t i = 0;
+  auto it = overlay_.begin();
+  while (i < table_count || it != overlay_.end()) {
+    if (it == overlay_.end()) {
+      merged.push_back(table[i++]);
+      continue;
+    }
+    const CacheEntry from_overlay{std::get<0>(it->first),
+                                  std::get<1>(it->first),
+                                  std::get<2>(it->first), it->second};
+    if (i >= table_count) {
+      merged.push_back(from_overlay);
+      ++it;
+    } else if (entry_less(table[i], from_overlay)) {
+      merged.push_back(table[i++]);
+    } else {
+      if (!entry_less(from_overlay, table[i])) ++i;  // shadowed table entry
+      merged.push_back(from_overlay);
+      ++it;
+    }
+  }
+
+  CacheHeader header;
+  header.entry_count = merged.size();
+  header.payload_checksum =
+      checksum64(merged.data(), merged.size() * sizeof(CacheEntry));
+  header.header_checksum = checksum64(&header, kHeaderChecksumOffset);
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(merged.data()),
+              static_cast<std::streamsize>(merged.size() * sizeof(CacheEntry)));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("store: cannot write " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("store: cannot rename " + tmp + " to " + path_);
+  }
+
+  // Remap the new inode, then retire the WAL: every record it held is now
+  // durable in the table. Crash between rename and remove only means a
+  // redundant (idempotent) replay next open.
+  entries_ = nullptr;
+  table_file_.reset();
+  header_ = CacheHeader{};
+  open_table();
+  overlay_.clear();
+  if (wal_out_.is_open()) wal_out_.close();
+  std::remove(wal_path_.c_str());
+  wal_dropped_bytes_ = 0;
+}
+
+std::size_t PersistentCache::table_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_ ? header_.entry_count : 0;
+}
+
+std::size_t PersistentCache::overlay_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overlay_.size();
+}
+
+}  // namespace minmach::store

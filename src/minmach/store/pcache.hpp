@@ -1,0 +1,124 @@
+// Persistent second tier for the affine-canonical OPT cache (DESIGN.md
+// §16): an mmap'd sorted table plus a write-ahead log, implementing
+// util::CacheStore so util/opt_cache.* falls through to disk on RAM misses
+// and forwards changed inserts here. A fleet of workers pointed at the same
+// --cache-file shares warmed verdicts, OPT values, and bounds across runs.
+//
+// On disk:
+//  * `<path>`       -- 64-byte header + entries sorted by (fp.hi, fp.lo,
+//                      key), binary-searched straight out of the mapping.
+//                      Rewritten only by compaction (tmp + rename, so
+//                      concurrent readers keep the old inode).
+//  * `<path>.wal`   -- append-only 40-byte records (entry + per-record
+//                      checksum), the only file written in place. Read with
+//                      buffered IO, never mapped. Replay stops at the first
+//                      record whose checksum fails or that is short: a torn
+//                      tail is dropped, never trusted, and earlier records
+//                      survive.
+//
+// Versioning: the header carries a format version (layout of these structs)
+// and a schema version (meaning of the cached values). Either mismatching
+// refuses the file with a diagnostic -- stale caches are invalidated by
+// version bump, never migrated in place.
+//
+// Tallies (exec-class): store.hits_disk, store.wal_appends.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include "minmach/store/corpus.hpp"  // kEndianGuard
+#include "minmach/store/mmap_file.hpp"
+#include "minmach/util/opt_cache.hpp"
+
+namespace minmach::store {
+
+inline constexpr std::uint64_t kCacheMagic = 0x45484341434F4D4DULL;  // "MMOCACHE"
+inline constexpr std::uint32_t kCacheFormatVersion = 1;
+// Bumped whenever the meaning of cached values changes (fingerprint
+// algorithm, verdict encoding, bounds packing); old files are then refused.
+inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+
+struct CacheHeader {
+  std::uint64_t magic = kCacheMagic;
+  std::uint32_t format_version = kCacheFormatVersion;
+  std::uint32_t endian_guard = kEndianGuard;
+  std::uint32_t schema_version = kCacheSchemaVersion;
+  std::uint32_t reserved0 = 0;
+  std::uint64_t entry_count = 0;
+  std::uint64_t payload_checksum = 0;
+  std::uint64_t reserved1 = 0;
+  std::uint64_t reserved2 = 0;
+  std::uint64_t header_checksum = 0;
+};
+static_assert(sizeof(CacheHeader) == 64);
+
+// One cached value: the raw (fingerprint, machine-key) -> value triple of
+// OptCache's entry table (key < 0 encodes OPT / bounds queries there).
+struct CacheEntry {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+};
+static_assert(sizeof(CacheEntry) == 32);
+
+class PersistentCache : public util::CacheStore {
+ public:
+  // Opens (or initializes, when `path` does not exist yet) the cache and
+  // replays the WAL. Throws std::runtime_error when an existing file fails
+  // validation -- a corrupt or version-mismatched cache is refused, never
+  // silently rebuilt, so the caller decides whether to delete it.
+  explicit PersistentCache(const std::string& path);
+  // Best-effort flush() (exceptions swallowed: destructors must not throw;
+  // an unflushed WAL replays next open anyway).
+  ~PersistentCache() override;
+
+  PersistentCache(const PersistentCache&) = delete;
+  PersistentCache& operator=(const PersistentCache&) = delete;
+
+  [[nodiscard]] std::optional<std::int64_t> load(const util::Digest128& fp,
+                                                 std::int64_t key) override;
+  void store(const util::Digest128& fp, std::int64_t key,
+             std::int64_t value) override;
+
+  // Compacts: merges the sorted table with the WAL overlay (overlay wins),
+  // rewrites the table (tmp + rename), remaps, and deletes the WAL. Throws
+  // std::runtime_error on IO failure.
+  void flush();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t table_entries() const;
+  [[nodiscard]] std::size_t overlay_entries() const;
+  // Bytes of torn/partial WAL tail dropped by replay at open (0 on a clean
+  // log).
+  [[nodiscard]] std::size_t wal_dropped_bytes() const {
+    return wal_dropped_bytes_;
+  }
+
+ private:
+  using OverlayKey = std::tuple<std::uint64_t, std::uint64_t, std::int64_t>;
+
+  void open_table();
+  void replay_wal();
+  [[nodiscard]] std::optional<std::int64_t> table_find(
+      const util::Digest128& fp, std::int64_t key) const;
+
+  std::string path_;
+  std::string wal_path_;
+  mutable std::mutex mutex_;
+  MappedFile table_file_;
+  CacheHeader header_;
+  const CacheEntry* entries_ = nullptr;  // into table_file_
+  // WAL replay + this process's unflushed inserts; last write wins.
+  std::map<OverlayKey, std::int64_t> overlay_;
+  std::ofstream wal_out_;  // opened lazily on first append
+  std::size_t wal_dropped_bytes_ = 0;
+};
+
+}  // namespace minmach::store

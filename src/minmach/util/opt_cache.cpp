@@ -71,13 +71,30 @@ std::optional<std::int64_t> OptCache::lookup(const Digest128& fp,
       }
     }
   }
+  if (!out) {
+    // RAM miss: fall through to the persistent tier and backfill the set on
+    // a hit (insert_local, not insert -- the entry must not be echoed back
+    // to the store it just came from).
+    if (CacheStore* store = store_.load(std::memory_order_acquire)) {
+      out = store->load(fp, machines);
+      if (out) insert_local(fp, machines, *out);
+    }
+  }
   obs::Registry::global().counter(out ? "cache.hits" : "cache.misses").add();
   return out;
 }
 
 void OptCache::insert(const Digest128& fp, std::int64_t machines,
                       std::int64_t value) {
-  if (sets_ == 0) return;
+  const bool changed = insert_local(fp, machines, value);
+  if (!changed) return;
+  if (CacheStore* store = store_.load(std::memory_order_acquire))
+    store->store(fp, machines, value);
+}
+
+bool OptCache::insert_local(const Digest128& fp, std::int64_t machines,
+                            std::int64_t value) {
+  if (sets_ == 0) return false;
   const std::uint64_t hash = slot_hash(fp, machines);
   Shard& shard = shards_[hash >> 60];
   const std::size_t set = (hash & 0x0fffffffffffffffULL) % sets_;
@@ -92,8 +109,9 @@ void OptCache::insert(const Digest128& fp, std::int64_t machines,
         // Verdict/OPT entries are exact (value identical, refresh is a
         // no-op); bracket entries may legitimately tighten, so the slot is
         // updated in place rather than duplicated.
+        const bool changed = entry.value != value;
         entry.value = value;
-        return;
+        return changed;
       }
       if (!entry.used && slot == nullptr) slot = &entry;
     }
@@ -111,6 +129,7 @@ void OptCache::insert(const Digest128& fp, std::int64_t machines,
   obs::Registry& registry = obs::Registry::global();
   registry.counter("cache.inserts").add();
   if (evicted) registry.counter("cache.evictions").add();
+  return true;
 }
 
 std::optional<bool> OptCache::lookup_feasible(const Digest128& fp,

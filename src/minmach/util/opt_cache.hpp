@@ -37,6 +37,23 @@
 
 namespace minmach::util {
 
+// Second-tier backing store the in-RAM cache falls through to (DESIGN.md
+// §16): a RAM miss consults load() and backfills the RAM set on a hit; a
+// RAM insert that changed a value forwards to store(). Keys are the raw
+// (fingerprint, machine-key) pairs of the entry table, so verdicts, OPT
+// values, and packed bounds all persist through one interface. The concrete
+// implementation lives in store/pcache.hpp; this interface exists so util/
+// never depends on the persistence layer. Implementations must be safe to
+// call from concurrent lookups.
+class CacheStore {
+ public:
+  virtual ~CacheStore() = default;
+  [[nodiscard]] virtual std::optional<std::int64_t> load(
+      const Digest128& fp, std::int64_t key) = 0;
+  virtual void store(const Digest128& fp, std::int64_t key,
+                     std::int64_t value) = 0;
+};
+
 class OptCache {
  public:
   // The process-wide instance every oracle consults. Disabled until
@@ -82,6 +99,17 @@ class OptCache {
   lookup_bounds(const Digest128& fp);
   void insert_bounds(const Digest128& fp, std::int64_t lo, std::int64_t hi);
 
+  // Attaches (or, with nullptr, detaches) the persistent second tier. The
+  // pointer is borrowed: the caller keeps the store alive while attached
+  // and must detach before destroying it. Like configure(), intended for
+  // driver setup paths, though the hot paths read it with one relaxed load.
+  void attach_store(CacheStore* store) {
+    store_.store(store, std::memory_order_release);
+  }
+  [[nodiscard]] CacheStore* attached_store() const {
+    return store_.load(std::memory_order_acquire);
+  }
+
  private:
   // OPT and bracket entries share the table with verdicts under reserved
   // machine keys (no valid feasibility query has machines < 0).
@@ -105,8 +133,15 @@ class OptCache {
   [[nodiscard]] std::optional<std::int64_t> lookup(const Digest128& fp,
                                                    std::int64_t machines);
   void insert(const Digest128& fp, std::int64_t machines, std::int64_t value);
+  // RAM-only insert (no store forwarding); returns whether the write
+  // changed anything (false on an identical refresh). Used both by insert()
+  // and by lookup()'s disk-hit backfill, which must not echo the entry
+  // back to the store it came from.
+  bool insert_local(const Digest128& fp, std::int64_t machines,
+                    std::int64_t value);
 
   std::atomic<bool> enabled_{false};
+  std::atomic<CacheStore*> store_{nullptr};
   std::size_t sets_ = 0;  // per shard
   std::array<Shard, kShards> shards_;
 };

@@ -1,0 +1,108 @@
+# Persistence smoke for the out-of-core corpus + persistent OPT cache.
+# Three halves:
+#
+#  1. Run a tiny c01_corpus_cache twice against the SAME --cache-file. The
+#     driver enforces its own bars internally (corpus round-trip equality,
+#     zero-copy OPT equality, >= 5x probe reduction on its scratch warm
+#     cache), so a non-zero exit is the failure signal; on top, the second
+#     run must report run-level disk hits > 0 (the first run's flushed
+#     cache actually warmed it) and the two --report files must be
+#     byte-identical (persistence moves only execution-class metrics).
+#  2. Empty path values for the persistence flags must be rejected fast
+#     with a clear message (exit 2), like the other validated flags.
+#  3. A corrupt cache file must be refused at startup, not silently
+#     rebuilt.
+#
+# Invoked by ctest with -DC01=<path-to-c01_corpus_cache>.
+if(NOT DEFINED C01)
+  message(FATAL_ERROR "C01 not set")
+endif()
+
+set(scratch ${CMAKE_CURRENT_BINARY_DIR}/store_smoke)
+file(REMOVE_RECURSE ${scratch})
+file(MAKE_DIRECTORY ${scratch})
+set(cache_file ${scratch}/warm.mmcache)
+set(corpus_file ${scratch}/corpus.mmcorpus)
+set(args --levels=4 --sweep-n=12 --trials=2 --corpus=${corpus_file}
+    --cache-file=${cache_file})
+
+execute_process(
+  COMMAND ${C01} ${args} --report=${scratch}/r1.json
+          --out=${scratch}/b1.json
+  OUTPUT_VARIABLE out_cold
+  RESULT_VARIABLE rc_cold)
+if(NOT rc_cold EQUAL 0)
+  message(FATAL_ERROR "cold c01 run failed (rc=${rc_cold}):\n${out_cold}")
+endif()
+if(NOT EXISTS ${cache_file})
+  message(FATAL_ERROR "cold run did not write ${cache_file}")
+endif()
+if(EXISTS ${cache_file}.wal)
+  message(FATAL_ERROR "clean shutdown left an uncompacted WAL behind")
+endif()
+
+execute_process(
+  COMMAND ${C01} ${args} --report=${scratch}/r2.json
+          --out=${scratch}/b2.json
+  OUTPUT_VARIABLE out_warm
+  RESULT_VARIABLE rc_warm)
+if(NOT rc_warm EQUAL 0)
+  message(FATAL_ERROR "warm c01 run failed (rc=${rc_warm}):\n${out_warm}")
+endif()
+
+# The warm run's pre-scratch phases must have been served by the disk tier.
+if(NOT out_warm MATCHES "persistent store hits \\(run-level\\): ([1-9][0-9]*)")
+  message(FATAL_ERROR
+    "warm run reported no run-level disk hits; the persistent cache did not "
+    "carry across invocations:\n${out_warm}")
+endif()
+if(NOT out_cold MATCHES "persistent store hits \\(run-level\\): 0")
+  message(FATAL_ERROR
+    "cold run reported nonzero run-level disk hits from a fresh cache file:"
+    "\n${out_cold}")
+endif()
+
+file(READ ${scratch}/r1.json report_cold)
+file(READ ${scratch}/r2.json report_warm)
+if(NOT report_cold STREQUAL report_warm)
+  message(FATAL_ERROR
+    "--report JSON differs between cold and warm cache runs; persistence "
+    "must only move execution-class metrics:\n"
+    "--- cold ---\n${report_cold}\n--- warm ---\n${report_warm}")
+endif()
+
+# Empty path values are rejected fast, like --threads 0.
+foreach(flag corpus cache-file)
+  execute_process(
+    COMMAND ${C01} --levels=2 --sweep-n=4 --trials=1 --${flag}=
+            --out=${scratch}/reject.json
+    ERROR_VARIABLE reject_err
+    RESULT_VARIABLE reject_rc)
+  if(reject_rc EQUAL 0)
+    message(FATAL_ERROR "--${flag}= (empty path) was accepted; must exit 2")
+  endif()
+  if(NOT reject_err MATCHES "${flag}")
+    message(FATAL_ERROR
+      "--${flag}= rejection lacks a clear message:\n${reject_err}")
+  endif()
+endforeach()
+
+# A corrupt cache file is refused at startup, never silently rebuilt.
+file(WRITE ${scratch}/corrupt.mmcache "not a cache file at all............")
+execute_process(
+  COMMAND ${C01} --levels=2 --sweep-n=4 --trials=1
+          --cache-file=${scratch}/corrupt.mmcache
+          --out=${scratch}/reject.json
+  ERROR_VARIABLE corrupt_err
+  RESULT_VARIABLE corrupt_rc)
+if(corrupt_rc EQUAL 0)
+  message(FATAL_ERROR "corrupt --cache-file was accepted; must be refused")
+endif()
+if(NOT corrupt_err MATCHES "cache-file")
+  message(FATAL_ERROR
+    "corrupt cache rejection lacks a clear message:\n${corrupt_err}")
+endif()
+
+message(STATUS
+  "store smoke passed: warm run hit the disk tier, reports byte-identical, "
+  "bad paths and corrupt caches refused")

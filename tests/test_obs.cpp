@@ -226,6 +226,10 @@ TEST(Metrics, ExecClassMetricsAreSegregatedFromSemanticOnes) {
   EXPECT_TRUE(is_exec_metric("simd.scalar_spills"));
   EXPECT_TRUE(is_exec_metric("profile.opt_search/probe.calls"));
   EXPECT_TRUE(is_exec_metric("hist.probe_ns"));
+  EXPECT_TRUE(is_exec_metric("store.hits_disk"));
+  EXPECT_TRUE(is_exec_metric("store.wal_appends"));
+  EXPECT_TRUE(is_exec_metric("store.mmap_bytes"));
+  EXPECT_TRUE(is_exec_metric("store.corpus_zero_copy"));
   EXPECT_FALSE(is_exec_metric("adversary.case1"));
   EXPECT_FALSE(is_exec_metric("sim.jobs"));
   EXPECT_FALSE(is_exec_metric("test.semantic"));

@@ -45,6 +45,11 @@ TEST(PerfdiffClassify, ByLeafName) {
             MetricClass::kHigherBetter);
   EXPECT_EQ(classify_metric("insert_heavy.dyn.edges_patched"),
             MetricClass::kCount);
+  // Persistent-store disk hits are probes the warm tier answered (work
+  // saved, beating the "hits" count marker); mmap/WAL volumes stay counts.
+  EXPECT_EQ(classify_metric("store.hits_disk"), MetricClass::kHigherBetter);
+  EXPECT_EQ(classify_metric("store.mmap_bytes"), MetricClass::kCount);
+  EXPECT_EQ(classify_metric("store.wal_appends"), MetricClass::kCount);
   EXPECT_EQ(classify_metric("rows[n=250].fast_edge_visits"),
             MetricClass::kCount);
   EXPECT_EQ(classify_metric("fast_probes"), MetricClass::kCount);

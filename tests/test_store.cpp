@@ -1,0 +1,458 @@
+// Persistence layer (DESIGN.md §16): mmap columnar corpus + persistent OPT
+// cache. Round-trip exactness against io/serialize on every gen/ family,
+// affine-invariance of the zero-copy column path, and the corruption
+// posture: flipped bytes, truncated/torn WALs, wrong-endianness and
+// wrong-version headers must all be refused or dropped loudly, never
+// half-trusted.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minmach/core/canonical.hpp"
+#include "minmach/flow/feasibility.hpp"
+#include "minmach/gen/generators.hpp"
+#include "minmach/io/serialize.hpp"
+#include "minmach/obs/metrics.hpp"
+#include "minmach/adversary/strong_lb.hpp"
+#include "minmach/store/corpus.hpp"
+#include "minmach/store/mmap_file.hpp"
+#include "minmach/store/pcache.hpp"
+#include "minmach/svc/engine.hpp"
+#include "minmach/util/opt_cache.hpp"
+#include "minmach/util/rng.hpp"
+
+namespace minmach::store {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "minmach_store_" + name;
+}
+
+// One instance per gen/ family, denominator 4 so the rational grid is
+// exercised (non-integer releases/deadlines), plus hand-built edge cases.
+std::vector<Instance> all_family_instances() {
+  Rng rng(2026);
+  GenConfig config;
+  config.n = 24;
+  config.denominator = 4;
+  const Rat alpha(1, 3);
+  std::vector<Instance> out;
+  out.push_back(gen_general(rng, config));
+  out.push_back(gen_agreeable(rng, config));
+  out.push_back(gen_laminar(rng, config));
+  out.push_back(gen_loose(rng, config, alpha));
+  out.push_back(gen_tight(rng, config, alpha));
+  out.push_back(gen_agreeable_tight(rng, config, alpha));
+  out.push_back(gen_laminar_tight(rng, config, alpha));
+  out.push_back(gen_unit(rng, config));
+  out.push_back(Instance{});  // empty instance must round-trip too
+  // Denominators 3 and 7 are coprime: LCM 21, so the int64 grid path has to
+  // find a nontrivial common scale.
+  Instance mixed;
+  mixed.add_job({Rat(1, 3), Rat(10, 3), Rat(2, 3)});
+  mixed.add_job({Rat(2, 7), Rat(20, 7), Rat(3, 7)});
+  out.push_back(mixed);
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Checksum, DetectsSingleByteFlipsAndLengthChanges) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint64_t base = checksum64(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::string flipped = data;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x40);
+    EXPECT_NE(checksum64(flipped.data(), flipped.size()), base)
+        << "flip at byte " << i << " not detected";
+  }
+  EXPECT_NE(checksum64(data.data(), data.size() - 1), base);
+  EXPECT_EQ(checksum64(nullptr, 0), checksum64(nullptr, 0));
+}
+
+TEST(Corpus, RoundTripsEveryFamilyThroughIoSerialize) {
+  const std::vector<Instance> family = all_family_instances();
+  CorpusWriter writer;
+  for (const Instance& instance : family) writer.add(instance);
+  const std::string path = temp_path("roundtrip.mmcorpus");
+  writer.write(path);
+
+  Corpus corpus(path);
+  ASSERT_EQ(corpus.size(), family.size());
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    const InstanceView view = corpus.view(i);
+    EXPECT_EQ(view.size(), family[i].size());
+    // Byte-exact equality in ORIGINAL coordinates, the same equality the
+    // text round-trip guarantees.
+    EXPECT_EQ(to_text(view.materialize()), to_text(family[i]))
+        << "instance " << i;
+    // Per-job reconstruction agrees with materialize().
+    for (std::size_t j = 0; j < view.size(); ++j) {
+      const Job job = view.job(j);
+      EXPECT_EQ(job.release, family[i].jobs()[j].release);
+      EXPECT_EQ(job.deadline, family[i].jobs()[j].deadline);
+      EXPECT_EQ(job.processing, family[i].jobs()[j].processing);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Corpus, BigRationalInstancesTakeTextPathExactly) {
+  // Deep strong-lb slices: numerators/denominators beyond int64 (k=6
+  // reaches ~87 bits), so neither the int64 grid nor the side-table fits.
+  FitPolicy policy(FitRule::kFirstFit, 123);
+  StrongLbResult result = run_strong_lower_bound(policy, 6);
+  ASSERT_FALSE(result.level_slices.empty());
+  Instance deep = slice_instance(result, result.level_slices.back());
+
+  CorpusWriter writer;
+  writer.add(deep);
+  const std::string path = temp_path("bigtext.mmcorpus");
+  writer.write(path);
+  Corpus corpus(path);
+  const InstanceView view = corpus.view(0);
+  EXPECT_FALSE(view.int64_grid());
+  EXPECT_EQ(to_text(view.materialize()), to_text(deep));
+  EXPECT_EQ(view.job(0).release, deep.jobs()[0].release);
+  std::remove(path.c_str());
+}
+
+TEST(Corpus, ZeroCopyColumnsAnswerOriginalOpt) {
+  const std::vector<Instance> family = all_family_instances();
+  CorpusWriter writer;
+  for (const Instance& instance : family) writer.add(instance);
+  const std::string path = temp_path("zerocopy.mmcorpus");
+  writer.write(path);
+
+  Corpus corpus(path);
+  util::OptCache::global().configure(true, 1 << 12);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const InstanceView view = corpus.view(i);
+    if (view.size() == 0 || !view.int64_grid()) continue;
+    // The scaled columns are an affine image: same OPT, same canonical
+    // fingerprint as the original instance.
+    FeasibilityOracle from_columns(view.columns());
+    FeasibilityOracle reference(family[i]);
+    EXPECT_EQ(from_columns.optimal_machines(), reference.optimal_machines())
+        << "instance " << i;
+    EXPECT_EQ(canonical_fingerprint(view.columns()),
+              fingerprint(canonicalize(family[i])))
+        << "instance " << i;
+  }
+  util::OptCache::global().configure(false, 1 << 12);
+  std::remove(path.c_str());
+}
+
+TEST(Corpus, SeedsSessionEngineWithCorrectAnswers) {
+  const std::vector<Instance> family = all_family_instances();
+  CorpusWriter writer;
+  for (const Instance& instance : family) writer.add(instance);
+  const std::string path = temp_path("svc.mmcorpus");
+  writer.write(path);
+  Corpus corpus(path);
+
+  svc::SessionEngine engine;
+  const std::uint64_t first = engine.seed_from_corpus(corpus);
+  ASSERT_EQ(engine.session_count(), family.size());
+  std::vector<svc::Event> queries;
+  for (std::size_t i = 0; i < family.size(); ++i)
+    queries.push_back({svc::Event::Kind::kQuery, first + i, 0, {}});
+  engine.ingest(queries);
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    FeasibilityOracle reference(family[i]);
+    ASSERT_EQ(engine.answers(first + i).size(), 1u);
+    EXPECT_EQ(engine.answers(first + i)[0], reference.optimal_machines())
+        << "instance " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Corpus, MissingFileRefusedWithDiagnostic) {
+  try {
+    Corpus corpus(temp_path("does_not_exist.mmcorpus"));
+    FAIL() << "open of a missing corpus must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("does_not_exist"),
+              std::string::npos);
+  }
+}
+
+TEST(Corpus, ByteFlippedPayloadRejectedByChecksum) {
+  Rng rng(7);
+  GenConfig config;
+  config.n = 16;
+  CorpusWriter writer;
+  writer.add(gen_general(rng, config));
+  const std::string path = temp_path("flip.mmcorpus");
+  writer.write(path);
+
+  std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), sizeof(CorpusHeader));
+  // Flip one payload byte in the LAST column region (past the directory, so
+  // record validation cannot catch it -- only the checksum can).
+  bytes[bytes.size() - 5] = static_cast<char>(bytes[bytes.size() - 5] ^ 0x01);
+  write_file(path, bytes);
+
+  EXPECT_THROW(Corpus corpus(path), std::runtime_error);  // default verifies
+  // Opening without payload verification defers to explicit verify().
+  Corpus lazy(path, {.verify_payload = false});
+  EXPECT_THROW(lazy.verify(), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// Rewrites the header with recomputed checksums so ONLY the edited field
+// disagrees -- the refusal must come from the named guard, not from the
+// checksum happening to catch the edit.
+void corrupt_header(const std::string& path,
+                    void (*edit)(CorpusHeader&)) {
+  std::string bytes = read_file(path);
+  CorpusHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  edit(header);
+  header.header_checksum =
+      checksum64(&header, sizeof(CorpusHeader) - sizeof(std::uint64_t));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  write_file(path, bytes);
+}
+
+TEST(Corpus, WrongEndiannessAndVersionRefusedWithClearDiagnostic) {
+  Rng rng(7);
+  GenConfig config;
+  config.n = 8;
+  CorpusWriter writer;
+  writer.add(gen_general(rng, config));
+  const std::string path = temp_path("header.mmcorpus");
+
+  writer.write(path);
+  corrupt_header(path, [](CorpusHeader& h) { h.endian_guard = 0x04030201; });
+  try {
+    Corpus corpus(path);
+    FAIL() << "wrong-endianness corpus must be refused";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("endianness"), std::string::npos)
+        << error.what();
+  }
+
+  writer.write(path);
+  corrupt_header(path, [](CorpusHeader& h) { h.format_version = 99; });
+  try {
+    Corpus corpus(path);
+    FAIL() << "wrong-version corpus must be refused";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("version 99"), std::string::npos)
+        << error.what();
+  }
+
+  writer.write(path);
+  corrupt_header(path, [](CorpusHeader& h) { h.magic ^= 0xFF; });
+  EXPECT_THROW(Corpus corpus(path), std::runtime_error);
+
+  // Truncation below the header size.
+  writer.write(path);
+  write_file(path, read_file(path).substr(0, sizeof(CorpusHeader) / 2));
+  EXPECT_THROW(Corpus corpus(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PersistentCache, MissingFileStartsEmptyAndPersistsAcrossReopen) {
+  const std::string path = temp_path("cache.mmcache");
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  const util::Digest128 fp{0x1111, 0x2222};
+
+  {
+    PersistentCache cache(path);
+    EXPECT_EQ(cache.table_entries(), 0u);
+    EXPECT_FALSE(cache.load(fp, 3).has_value());
+    cache.store(fp, 3, 7);
+    cache.store(fp, -1, 4);  // -1 is OptCache's reserved OPT-query key
+    EXPECT_EQ(cache.load(fp, 3), std::optional<std::int64_t>(7));
+    // Destructor flushes: WAL compacts into the sorted table.
+  }
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".wal").good());
+  {
+    PersistentCache cache(path);
+    EXPECT_EQ(cache.table_entries(), 2u);
+    EXPECT_EQ(cache.overlay_entries(), 0u);
+    EXPECT_EQ(cache.load(fp, 3), std::optional<std::int64_t>(7));
+    EXPECT_EQ(cache.load(fp, -1), std::optional<std::int64_t>(4));
+    EXPECT_FALSE(cache.load(fp, 5).has_value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PersistentCache, TruncatedWalTailDroppedEarlierEntriesSurvive) {
+  const std::string path = temp_path("torn.mmcache");
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  const util::Digest128 a{1, 10};
+  const util::Digest128 b{2, 20};
+
+  {
+    PersistentCache cache(path);
+    cache.store(a, 1, 100);
+    cache.store(b, 2, 200);
+    // Simulate a crash: no flush()/compaction -- scope exit would flush, so
+    // instead capture the WAL now and overwrite after destruction.
+  }
+  // Recreate the crash state: table flushed above, so rebuild a WAL by
+  // storing against a fresh overlay and keeping the file.
+  std::string wal_bytes;
+  {
+    PersistentCache cache(path);
+    cache.store(a, 9, 900);
+    cache.store(b, 9, 901);
+    wal_bytes = read_file(path + ".wal");
+    ASSERT_EQ(wal_bytes.size(), 80u);  // two 40-byte records
+    // Torn write: keep record 1 whole, half of record 2.
+    write_file(path + ".wal", wal_bytes.substr(0, 60));
+    PersistentCache reopened(path);
+    EXPECT_EQ(reopened.wal_dropped_bytes(), 20u);
+    EXPECT_EQ(reopened.load(a, 9), std::optional<std::int64_t>(900));
+    EXPECT_FALSE(reopened.load(b, 9).has_value());  // torn tail dropped
+    EXPECT_EQ(reopened.load(a, 1), std::optional<std::int64_t>(100));
+
+    // Corrupt (not truncate) the second record: same posture.
+    std::string corrupt = wal_bytes;
+    corrupt[45] = static_cast<char>(corrupt[45] ^ 0x10);
+    write_file(path + ".wal", corrupt);
+    PersistentCache reopened2(path);
+    EXPECT_EQ(reopened2.wal_dropped_bytes(), 40u);
+    EXPECT_EQ(reopened2.load(a, 9), std::optional<std::int64_t>(900));
+    EXPECT_FALSE(reopened2.load(b, 9).has_value());
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST(PersistentCache, WrongVersionAndEndiannessRefused) {
+  const std::string path = temp_path("badcache.mmcache");
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  {
+    PersistentCache cache(path);
+    cache.store({5, 6}, 1, 2);
+    cache.flush();
+  }
+  std::string bytes = read_file(path);
+  CacheHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+
+  auto rewrite = [&](CacheHeader edited) {
+    edited.header_checksum =
+        checksum64(&edited, sizeof(CacheHeader) - sizeof(std::uint64_t));
+    std::string copy = bytes;
+    std::memcpy(copy.data(), &edited, sizeof(edited));
+    write_file(path, copy);
+  };
+
+  CacheHeader wrong_schema = header;
+  wrong_schema.schema_version = 41;
+  rewrite(wrong_schema);
+  try {
+    PersistentCache cache(path);
+    FAIL() << "wrong-schema cache must be refused";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("schema version 41"),
+              std::string::npos)
+        << error.what();
+  }
+
+  CacheHeader wrong_endian = header;
+  wrong_endian.endian_guard = 0x04030201;
+  rewrite(wrong_endian);
+  EXPECT_THROW(PersistentCache cache(path), std::runtime_error);
+
+  CacheHeader wrong_format = header;
+  wrong_format.format_version = 99;
+  rewrite(wrong_format);
+  EXPECT_THROW(PersistentCache cache(path), std::runtime_error);
+
+  // Flipped payload byte: caught eagerly at open.
+  std::string flipped = bytes;
+  flipped[flipped.size() - 3] =
+      static_cast<char>(flipped[flipped.size() - 3] ^ 0x02);
+  write_file(path, flipped);
+  EXPECT_THROW(PersistentCache cache(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PersistentCache, TwoProcessesShareOneFileConsistently) {
+  // Two opens of the same path (what two worker processes do): A writes and
+  // compacts; B, opened before the compaction, keeps serving its snapshot
+  // (rename keeps the old inode mapped); a fresh open sees A's writes.
+  const std::string path = temp_path("shared.mmcache");
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  const util::Digest128 fp{0xAB, 0xCD};
+
+  PersistentCache a(path);
+  a.store(fp, 1, 11);
+  a.flush();
+  PersistentCache b(path);
+  EXPECT_EQ(b.load(fp, 1), std::optional<std::int64_t>(11));
+
+  a.store(fp, 2, 22);
+  a.flush();  // rewrites the table; b's mapping is the old inode
+  EXPECT_EQ(b.load(fp, 1), std::optional<std::int64_t>(11));
+  PersistentCache c(path);
+  EXPECT_EQ(c.load(fp, 2), std::optional<std::int64_t>(22));
+  EXPECT_EQ(c.table_entries(), 2u);
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST(PersistentCache, OptCacheFallsThroughToDiskOnRamMiss) {
+  const std::string path = temp_path("tier.mmcache");
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  util::OptCache& cache = util::OptCache::global();
+  const std::uint64_t hits0 =
+      obs::Registry::global().counter("store.hits_disk").value();
+
+  Rng rng(99);
+  GenConfig config;
+  config.n = 20;
+  const Instance instance = gen_general(rng, config);
+  const util::Digest128 fp = fingerprint(canonicalize(instance));
+
+  {
+    PersistentCache store(path);
+    cache.configure(true, 1 << 10);
+    cache.attach_store(&store);
+    FeasibilityOracle oracle(instance);
+    const std::int64_t opt = oracle.optimal_machines();
+    cache.attach_store(nullptr);
+    store.flush();
+    cache.configure(true, 1 << 10);  // clear RAM tier
+
+    PersistentCache warm(path);
+    cache.attach_store(&warm);
+    EXPECT_EQ(cache.lookup_opt(fp), std::optional<std::int64_t>(opt));
+    cache.attach_store(nullptr);
+  }
+  EXPECT_GT(obs::Registry::global().counter("store.hits_disk").value(), hits0);
+  cache.configure(false, 1 << 10);
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+}  // namespace
+}  // namespace minmach::store
